@@ -1,0 +1,110 @@
+// Reproduces the *motivating example* of Figure 2 (paper §2.2): linear
+// regression predictors on clusters with different scaling laws.
+//
+// Setup distilled from the figure: Cluster A's execution time grows
+// linearly with the task size feature z; Cluster B's grows exponentially
+// (slow start, explosive tail). A linear (MSE-optimal) predictor for B
+// must average over the curve, over-predicting B in the mid-range — so
+// the predict-then-match pipeline misassigns exactly the mid-range tasks
+// (the figure's "Task 2"). Reweighting B's fit toward the tasks the
+// matching actually routes to B (the paper's cluster-specific task
+// preferences) fixes the assignment without fixing the MSE.
+//
+// Run:  ./build/bench/exp_fig2_motivation
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "matching/objective.hpp"
+#include "mfcp/linear_model.hpp"
+#include "mfcp/regret.hpp"
+#include "support/table.hpp"
+
+using namespace mfcp;
+
+namespace {
+
+/// Ground-truth laws of the two clusters as in the figure.
+double cluster_a_time(double z) { return 1.0 + 2.0 * z; }           // linear
+double cluster_b_time(double z) { return 0.4 * std::exp(1.8 * z); }  // exp
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: why MSE-optimal predictions mis-assign ==\n\n");
+
+  // Profiling data: tasks spread over the size feature z in [0, 2].
+  const std::size_t samples = 40;
+  sim::Dataset train;
+  train.features = Matrix(samples, 1);
+  train.times = Matrix(2, samples);
+  train.reliability = Matrix(2, samples, 0.95);
+  train.true_times = Matrix(2, samples);
+  train.true_reliability = Matrix(2, samples, 0.95);
+  train.tasks.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double z = 2.0 * static_cast<double>(i) / (samples - 1);
+    train.features(i, 0) = z;
+    train.times(0, i) = train.true_times(0, i) = cluster_a_time(z);
+    train.times(1, i) = train.true_times(1, i) = cluster_b_time(z);
+  }
+
+  // MSE-optimal linear fits (the paper's dashed lines).
+  const core::LinearPlatformModel mse_fit(train);
+
+  // Decision-focused reweighting: emphasize, in each cluster's fit, the
+  // tasks that cluster actually wins under the truth (the "cluster-
+  // specific task preferences" of §2.2).
+  Matrix weights(2, samples, 0.02);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t winner =
+        train.true_times(0, i) <= train.true_times(1, i) ? 0 : 1;
+    weights(winner, i) = 1.0;
+  }
+  const core::LinearPlatformModel dfl_fit(train, weights);
+
+  // The figure's three probe tasks: small / mid / large.
+  const std::vector<double> probes = {0.3, 1.05, 1.9};
+  Table table({"Task (z)", "true A", "true B", "MSE Â", "MSE B̂",
+               "DFL Â", "DFL B̂", "truth→", "MSE→", "DFL→"});
+  int mse_errors = 0;
+  int dfl_errors = 0;
+  for (double z : probes) {
+    Matrix f(1, 1, z);
+    const Matrix mse_t = mse_fit.predict_time_matrix(f);
+    const Matrix dfl_t = dfl_fit.predict_time_matrix(f);
+    const double ta = cluster_a_time(z);
+    const double tb = cluster_b_time(z);
+    const char* truth = ta <= tb ? "A" : "B";
+    const char* mse = mse_t(0, 0) <= mse_t(1, 0) ? "A" : "B";
+    const char* dfl = dfl_t(0, 0) <= dfl_t(1, 0) ? "A" : "B";
+    mse_errors += truth != mse && std::string(truth) != mse ? 1 : 0;
+    dfl_errors += std::string(truth) != dfl ? 1 : 0;
+    table.add_row({Table::cell(z, 2), Table::cell(ta, 2), Table::cell(tb, 2),
+                   Table::cell(mse_t(0, 0), 2), Table::cell(mse_t(1, 0), 2),
+                   Table::cell(dfl_t(0, 0), 2), Table::cell(dfl_t(1, 0), 2),
+                   truth, mse, dfl});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Over the whole feature range: fraction of argmin flips.
+  std::size_t grid = 200;
+  std::size_t mse_flips = 0;
+  std::size_t dfl_flips = 0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double z = 2.0 * static_cast<double>(i) / (grid - 1);
+    Matrix f(1, 1, z);
+    const Matrix mse_t = mse_fit.predict_time_matrix(f);
+    const Matrix dfl_t = dfl_fit.predict_time_matrix(f);
+    const bool truth_a = cluster_a_time(z) <= cluster_b_time(z);
+    mse_flips += (mse_t(0, 0) <= mse_t(1, 0)) != truth_a ? 1 : 0;
+    dfl_flips += (dfl_t(0, 0) <= dfl_t(1, 0)) != truth_a ? 1 : 0;
+  }
+  std::printf(
+      "argmin flipped on %.0f%% of the feature range with MSE fits vs "
+      "%.0f%% with decision-reweighted fits\n",
+      100.0 * mse_flips / grid, 100.0 * dfl_flips / grid);
+  std::printf("(paper Fig. 2: the MSE predictor routes Task 2 to the wrong "
+              "cluster; preference-weighted fitting corrects it)\n");
+  return 0;
+}

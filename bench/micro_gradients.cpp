@@ -1,0 +1,121 @@
+// Microbenchmarks for the two matching-layer differentiation routes:
+// analytic KKT (vector-Jacobian product vs full Jacobian) and zeroth-order
+// forward gradients (serial vs thread pool, varying sample count S) —
+// the O(S * K2 * MN) term of the complexity analysis (Eq. 21).
+#include <benchmark/benchmark.h>
+
+#include "diff/kkt.hpp"
+#include "diff/zeroth_order.hpp"
+#include "matching/barrier.hpp"
+#include "matching/solver_mirror.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mfcp;
+using namespace mfcp::matching;
+
+struct Instance {
+  MatchingProblem problem;
+  BarrierObjective objective;
+  Matrix xstar;
+  Matrix upstream;
+};
+
+Instance make_instance(std::size_t m, std::size_t n) {
+  Rng rng(11);
+  MatchingProblem p;
+  p.times = Matrix(m, n);
+  p.reliability = Matrix(m, n);
+  for (std::size_t i = 0; i < p.times.size(); ++i) {
+    p.times[i] = rng.uniform(0.4, 2.0);
+    p.reliability[i] = rng.uniform(0.6, 0.98);
+  }
+  p.gamma = 0.6;
+  BarrierConfig bcfg;
+  bcfg.beta = 4.0;
+  BarrierObjective obj(p, bcfg);
+  MirrorSolverConfig scfg;
+  scfg.max_iterations = 1500;
+  Matrix xstar = solve_mirror(obj, scfg).x;
+  Matrix upstream(m, n);
+  for (std::size_t i = 0; i < upstream.size(); ++i) {
+    upstream[i] = rng.normal();
+  }
+  return Instance{std::move(p), std::move(obj), std::move(xstar),
+                  std::move(upstream)};
+}
+
+void BM_KktVjp(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diff::kkt_vjp(inst.objective, inst.xstar, inst.upstream));
+  }
+}
+BENCHMARK(BM_KktVjp)->Args({3, 5})->Args({3, 25})->Args({6, 40});
+
+void BM_KktFullJacobian(benchmark::State& state) {
+  // The multi-RHS route costs ~MN solves instead of one: quantifies why
+  // the trainers use the adjoint VJP.
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diff::kkt_full_jacobians(inst.objective, inst.xstar));
+  }
+}
+BENCHMARK(BM_KktFullJacobian)->Args({3, 5})->Args({3, 15});
+
+void BM_ZerothOrderRow(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(3, 5);
+  const auto& p = inst.problem;
+  const auto solver = [&p](const Matrix& t, const Matrix& a) {
+    BarrierConfig bcfg;
+    bcfg.beta = 4.0;
+    BarrierObjective obj(t, a, p.gamma, bcfg);
+    MirrorSolverConfig scfg;
+    scfg.max_iterations = 300;
+    return solve_mirror(obj, scfg).x;
+  };
+  diff::ForwardGradientConfig fg;
+  fg.samples = samples;
+  fg.delta = 0.05;
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::estimate_row_gradients(
+        solver, p.times, p.reliability, inst.xstar, 0, inst.upstream, fg,
+        rng));
+  }
+  state.SetLabel("S=" + std::to_string(samples));
+}
+BENCHMARK(BM_ZerothOrderRow)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ZerothOrderRowPooled(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(3, 5);
+  const auto& p = inst.problem;
+  const auto solver = [&p](const Matrix& t, const Matrix& a) {
+    BarrierConfig bcfg;
+    bcfg.beta = 4.0;
+    BarrierObjective obj(t, a, p.gamma, bcfg);
+    MirrorSolverConfig scfg;
+    scfg.max_iterations = 300;
+    return solve_mirror(obj, scfg).x;
+  };
+  diff::ForwardGradientConfig fg;
+  fg.samples = samples;
+  fg.delta = 0.05;
+  Rng rng(13);
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::estimate_row_gradients(
+        solver, p.times, p.reliability, inst.xstar, 0, inst.upstream, fg,
+        rng, &pool));
+  }
+}
+BENCHMARK(BM_ZerothOrderRowPooled)->Arg(16)->Arg(64);
+
+}  // namespace

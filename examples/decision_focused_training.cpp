@@ -1,0 +1,86 @@
+// Decision-focused training walkthrough.
+//
+// Reproduces the paper's core claim on one environment: a predictor
+// fine-tuned through the deployed matching pipeline (MFCP-FG: zeroth-order
+// gradients of the true makespan of the rounded assignment) achieves lower
+// matching regret than the same architecture trained to minimize MSE
+// (TSM) — even though its MSE may be *worse*. MFCP-AD (analytic gradients
+// through the relaxed surrogate) is also shown for comparison; see
+// DESIGN.md §4 for why the discrete-loss FG route is stronger here.
+//
+// Run:  ./build/examples/decision_focused_training
+#include <cstdio>
+
+#include "mfcp/experiment.hpp"
+#include "nn/loss.hpp"
+
+using namespace mfcp;
+
+namespace {
+
+void print_row(const core::MethodResult& r) {
+  std::printf("%-10s %-18s %-18s %-18s %7.1fs\n", r.label.c_str(),
+              format_mean_std(r.metrics.regret().mean(),
+                              r.metrics.regret().stddev())
+                  .c_str(),
+              format_mean_std(r.metrics.reliability().mean(),
+                              r.metrics.reliability().stddev())
+                  .c_str(),
+              format_mean_std(r.metrics.utilization().mean(),
+                              r.metrics.utilization().stddev())
+                  .c_str(),
+              r.train_seconds);
+}
+
+}  // namespace
+
+int main() {
+  core::ExperimentConfig config;
+  config.setting = sim::Setting::kC;  // strong heterogeneity: the regime
+                                      // where prediction errors are costly
+  config.seed = 42;
+  config.num_clusters = 3;
+  config.round_tasks = 5;
+  config.train_tasks = 60;
+  config.test_tasks = 60;
+  config.test_rounds = 30;
+  config.gamma = 0.75;
+  config.predictor.hidden = {2};  // limited capacity: systematic errors
+  config.tsm.epochs = 300;
+  config.mfcp.pretrain_epochs = 300;
+  config.mfcp_ad.pretrain_epochs = 300;
+
+  std::printf("== Decision-focused training (TSM vs MFCP) ==\n");
+  std::printf("setting %s, %zu clusters, rounds of %zu tasks\n\n",
+              sim::to_string(config.setting).c_str(), config.num_clusters,
+              config.round_tasks);
+  const auto ctx = core::make_context(config);
+  ThreadPool pool;
+
+  std::printf("%-10s %-18s %-18s %-18s %8s\n", "Method", "Regret",
+              "Reliability", "Utilization", "train");
+  core::MethodResult tsm;
+  core::MethodResult fg;
+  for (core::Method m : {core::Method::kTsm, core::Method::kMfcpAd,
+                         core::Method::kMfcpFg}) {
+    auto result = core::run_method(m, ctx, config, &pool);
+    print_row(result);
+    if (m == core::Method::kTsm) {
+      tsm = result;
+    } else if (m == core::Method::kMfcpFg) {
+      fg = result;
+    }
+  }
+
+  if (fg.metrics.regret().mean() < tsm.metrics.regret().mean()) {
+    std::printf("\nMFCP-FG cut matching regret by %.0f%% relative to the "
+                "two-stage baseline,\nwhile its prediction MSE may be no "
+                "better — regret is what the platform pays for.\n",
+                100.0 * (1.0 - fg.metrics.regret().mean() /
+                                   tsm.metrics.regret().mean()));
+  } else {
+    std::printf("\nOn this draw MFCP-FG did not beat TSM — the gap is "
+                "environment-dependent; see EXPERIMENTS.md.\n");
+  }
+  return 0;
+}

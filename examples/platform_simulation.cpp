@@ -1,0 +1,106 @@
+// End-to-end platform simulation: a computing resource exchange platform
+// operating over a stream of matching rounds.
+//
+// Each round, users submit a batch of deep-learning jobs; the platform
+// predicts per-cluster performance, solves the matching, dispatches, and
+// the failure-injection simulator decides which jobs actually complete.
+// At the end we compare the achieved success rate and utilization against
+// what the predictor promised — the operational view of the paper's
+// metrics.
+//
+// Run:  ./build/examples/platform_simulation
+#include <cstdio>
+
+#include "matching/objective.hpp"
+#include "mfcp/experiment.hpp"
+#include "sim/failure.hpp"
+
+using namespace mfcp;
+
+int main() {
+  core::ExperimentConfig config;
+  config.setting = sim::Setting::kB;
+  config.num_clusters = 4;
+  config.round_tasks = 6;
+  config.train_tasks = 100;
+  config.test_tasks = 60;
+  config.tsm.epochs = 250;
+  const std::size_t rounds = 12;
+
+  std::printf("== Exchange platform simulation (setting %s, %zu clusters, "
+              "%zu rounds of %zu jobs) ==\n",
+              sim::to_string(config.setting).c_str(), config.num_clusters,
+              rounds, config.round_tasks);
+  const auto ctx = core::make_context(config);
+
+  Rng init(0x51caffeULL);
+  core::PlatformPredictor predictor(config.num_clusters, config.predictor,
+                                    init);
+  core::train_tsm(predictor, ctx.train, config.tsm);
+
+  Rng stream(0xd15a7c4ULL);
+  RunningStats makespans;
+  RunningStats success;
+  RunningStats utilization;
+  std::vector<double> cluster_hours(config.num_clusters, 0.0);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Users submit a batch drawn from the unseen test pool.
+    const auto order = stream.permutation(ctx.test.num_tasks());
+    std::vector<sim::TaskDescriptor> jobs;
+    Matrix features(config.round_tasks, ctx.test.feature_dim());
+    matching::MatchingProblem truth;
+    truth.times = Matrix(config.num_clusters, config.round_tasks);
+    truth.reliability = Matrix(config.num_clusters, config.round_tasks);
+    truth.gamma = config.gamma;
+    for (std::size_t k = 0; k < config.round_tasks; ++k) {
+      const std::size_t j = order[k];
+      jobs.push_back(ctx.test.tasks[j]);
+      for (std::size_t c = 0; c < ctx.test.feature_dim(); ++c) {
+        features(k, c) = ctx.test.features(j, c);
+      }
+      for (std::size_t i = 0; i < config.num_clusters; ++i) {
+        truth.times(i, k) = ctx.test.true_times(i, j);
+        truth.reliability(i, k) = ctx.test.true_reliability(i, j);
+      }
+    }
+
+    const auto predicted = truth.with_metrics(
+        predictor.predict_time_matrix(features),
+        predictor.predict_reliability_matrix(features));
+    const auto plan = core::deploy_matching(predicted, config.eval);
+    const auto run = sim::execute_assignment(ctx.platform, jobs, plan,
+                                             stream, /*max_attempts=*/2);
+
+    makespans.add(run.makespan_hours);
+    success.add(run.empirical_success_rate);
+    utilization.add(
+        matching::utilization(plan, truth.times, truth.speedup));
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      cluster_hours[static_cast<std::size_t>(plan[k])] +=
+          truth.times(static_cast<std::size_t>(plan[k]), k);
+    }
+    std::printf(
+        "round %2zu: makespan %5.2fh  first-try success %4.0f%%  "
+        "utilization %.2f\n",
+        round, run.makespan_hours, 100.0 * run.empirical_success_rate,
+        matching::utilization(plan, truth.times, truth.speedup));
+  }
+
+  std::printf("\nsummary over %zu rounds:\n", rounds);
+  std::printf("  makespan    %s h\n",
+              format_mean_std(makespans.mean(), makespans.stddev()).c_str());
+  std::printf("  success     %s (target gamma = %.2f)\n",
+              format_mean_std(success.mean(), success.stddev()).c_str(),
+              config.gamma);
+  std::printf("  utilization %s\n",
+              format_mean_std(utilization.mean(), utilization.stddev())
+                  .c_str());
+  std::printf("  busy hours per cluster:");
+  for (std::size_t i = 0; i < cluster_hours.size(); ++i) {
+    std::printf(" %s=%.1f", ctx.platform.cluster(i).name().c_str(),
+                cluster_hours[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reverse-accumulation driver: topological ordering of the dynamic graph.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace mfcp::autograd {
+
+/// Nodes reachable from `root`, parents-before-children
+/// (i.e. reverse iteration visits each node before its parents).
+std::vector<std::shared_ptr<Node>> topological_order(
+    const std::shared_ptr<Node>& root);
+
+/// Runs reverse accumulation from `root` whose grad must already be seeded.
+void run_backward(const std::shared_ptr<Node>& root);
+
+}  // namespace mfcp::autograd

@@ -1,0 +1,96 @@
+// Zeroth-order (forward-gradient) differentiation of the matching layer —
+// the engine of MFCP-FG (paper Algorithm 2, Theorem 3).
+//
+// For non-convex matching objectives (parallel execution, Eq. 16/17) the
+// KKT route is unavailable. Instead, the gradient of the optimal matching
+// with respect to the *row* of predictions belonging to cluster i is
+// estimated by Gaussian directional perturbations:
+//     t̂_i^s = t̂_i + Δ v^s,   v^s ~ N(0, I_N)
+//     d L/d t̂_i  ≈  (1/S) Σ_s  [ <dL/dX, X*(T̂^s, Â) - X*(T̂, Â)> / Δ ] v^s,
+// i.e. the chain rule is folded into the estimator so only S extra solves
+// are needed per step, not S·N. The S solves are embarrassingly parallel
+// and run on a thread pool with per-sample RNG streams (bit-reproducible
+// for any thread count).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "diff/finite_diff.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace mfcp::diff {
+
+struct ForwardGradientConfig {
+  std::size_t samples = 16;  // S in Algorithm 2
+  double delta = 0.05;       // Δ perturbation size for execution times
+  /// Δ for reliability perturbations (probabilities live on a much
+  /// smaller scale than hours). 0 = use `delta`.
+  double delta_reliability = 0.0;
+
+  [[nodiscard]] double reliability_delta() const noexcept {
+    return delta_reliability > 0.0 ? delta_reliability : delta;
+  }
+};
+
+/// Theorem 3's bias/variance balancing perturbation size
+/// Δ* = (2 σ_F² / (β² S))^{1/4}.
+double optimal_delta(double sigma_f, double beta, std::size_t samples);
+
+struct RowGradients {
+  std::vector<double> dt;  // dL/dt̂_i, length N
+  std::vector<double> da;  // dL/dâ_i, length N
+};
+
+/// Estimates dL/dt̂_i and dL/dâ_i (row `row` of the prediction matrices)
+/// given the upstream gradient dL/dX* (M x N). `solver` maps (T, A) to the
+/// relaxed optimal matching; `x_base` must equal solver(t_hat, a_hat)
+/// (passed in so the caller's solve is reused). If `pool` is non-null the
+/// 2·S perturbed solves run in parallel.
+RowGradients estimate_row_gradients(const MatchingSolver& solver,
+                                    const Matrix& t_hat, const Matrix& a_hat,
+                                    const Matrix& x_base, std::size_t row,
+                                    const Matrix& upstream,
+                                    const ForwardGradientConfig& config,
+                                    Rng& rng, ThreadPool* pool = nullptr);
+
+/// Full-matrix variant (perturbs every entry of T and A at once; used when
+/// all clusters' predictors train jointly): returns dL/dT and dL/dA.
+struct FullGradients {
+  Matrix dt;  // M x N
+  Matrix da;  // M x N
+};
+
+FullGradients estimate_full_gradients(const MatchingSolver& solver,
+                                      const Matrix& t_hat,
+                                      const Matrix& a_hat,
+                                      const Matrix& x_base,
+                                      const Matrix& upstream,
+                                      const ForwardGradientConfig& config,
+                                      Rng& rng, ThreadPool* pool = nullptr);
+
+/// A scalar pipeline loss L(T̂, Â) — e.g. the TRUE makespan of the rounded
+/// deployed assignment. May be piecewise constant: with a perturbation
+/// size comparable to the prediction error scale, the Gaussian smoothing
+/// of the estimator below turns its staircase structure into useful
+/// randomized-smoothing gradients (the DBB / perturbed-optimizer view of
+/// differentiating through discrete decisions).
+using ScalarLoss = std::function<double(const Matrix& t, const Matrix& a)>;
+
+/// Zeroth-order gradient of a scalar loss with respect to row `row` of the
+/// prediction matrices:
+///   dL/dt̂_i ≈ (1/S) Σ_s [ (L(T̂ + Δ v^s e_i) - base) / Δ ] v^s.
+/// `base` must equal loss(t_hat, a_hat).
+RowGradients estimate_scalar_row_gradients(
+    const ScalarLoss& loss, const Matrix& t_hat, const Matrix& a_hat,
+    double base, std::size_t row, const ForwardGradientConfig& config,
+    Rng& rng, ThreadPool* pool = nullptr);
+
+/// Full-matrix variant (perturbs all entries of T̂, then of Â).
+FullGradients estimate_scalar_full_gradients(
+    const ScalarLoss& loss, const Matrix& t_hat, const Matrix& a_hat,
+    double base, const ForwardGradientConfig& config, Rng& rng,
+    ThreadPool* pool = nullptr);
+
+}  // namespace mfcp::diff

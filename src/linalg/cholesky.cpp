@@ -1,0 +1,70 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace mfcp {
+
+NotPositiveDefiniteError::NotPositiveDefiniteError(std::size_t pivot_index)
+    : std::runtime_error("matrix is not positive definite at pivot " +
+                         std::to_string(pivot_index)) {}
+
+CholeskyFactorization::CholeskyFactorization(const Matrix& a) {
+  MFCP_CHECK(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix::zeros(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= l_(i, k) * l_(j, k);
+      }
+      if (i == j) {
+        if (acc <= 0.0 || !std::isfinite(acc)) {
+          throw NotPositiveDefiniteError(i);
+        }
+        l_(i, i) = std::sqrt(acc);
+      } else {
+        l_(i, j) = acc / l_(j, j);
+      }
+    }
+  }
+}
+
+Matrix CholeskyFactorization::solve(const Matrix& b) const {
+  const std::size_t n = dim();
+  MFCP_CHECK(b.size() == n, "rhs length must match matrix dimension");
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= l_(i, k) * y[k];
+    }
+    y[i] = acc / l_(i, i);
+  }
+  Matrix x(n, 1);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= l_(k, ii) * x[k];
+    }
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+bool is_positive_definite(const Matrix& a) {
+  if (a.rows() != a.cols() || a.empty()) {
+    return false;
+  }
+  try {
+    CholeskyFactorization chol(a);
+    return true;
+  } catch (const NotPositiveDefiniteError&) {
+    return false;
+  }
+}
+
+}  // namespace mfcp

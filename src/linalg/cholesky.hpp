@@ -1,0 +1,42 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// The Hessian block of the KKT system is SPD in the convex (exclusive
+// execution) setting, so the reduced normal equations can be solved with
+// Cholesky at half the LU cost; also used to verify convexity numerically
+// (factorization failure <=> non-PD Hessian) in tests and diagnostics.
+#pragma once
+
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace mfcp {
+
+/// Thrown when the input is not (numerically) positive definite.
+class NotPositiveDefiniteError : public std::runtime_error {
+ public:
+  explicit NotPositiveDefiniteError(std::size_t pivot_index);
+};
+
+/// Lower-triangular Cholesky factor A = L L^T.
+class CholeskyFactorization {
+ public:
+  /// Factors symmetric `a`; only the lower triangle is read.
+  explicit CholeskyFactorization(const Matrix& a);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// The factor L (lower triangular).
+  [[nodiscard]] const Matrix& factor() const noexcept { return l_; }
+
+  /// Solves A x = b.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+ private:
+  Matrix l_;
+};
+
+/// True iff `a` is numerically positive definite (Cholesky succeeds).
+bool is_positive_definite(const Matrix& a);
+
+}  // namespace mfcp

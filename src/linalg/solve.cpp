@@ -1,0 +1,76 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "support/check.hpp"
+
+namespace mfcp {
+
+Matrix solve_linear(const Matrix& a, const Matrix& b) {
+  LuFactorization lu(a);
+  if (b.cols() == 1) {
+    return lu.solve(b);
+  }
+  return lu.solve_multi(b);
+}
+
+Matrix solve_saddle_point(const Matrix& h, const Matrix& d, const Matrix& b1,
+                          const Matrix& b2) {
+  const std::size_t nh = h.rows();
+  const std::size_t ne = d.rows();
+  MFCP_CHECK(h.cols() == nh, "H must be square");
+  MFCP_CHECK(d.cols() == nh, "D column count must match H");
+  MFCP_CHECK(b1.rows() == nh && b2.rows() == ne, "rhs shape mismatch");
+  MFCP_CHECK(b1.cols() == b2.cols(), "rhs column counts must match");
+
+  // Assemble the full (nh+ne) square system and solve with one LU: the KKT
+  // matrices in this codebase are small (O(MN + N)), so assembling densely
+  // is cheaper and simpler than a Schur-complement path.
+  const std::size_t n = nh + ne;
+  Matrix k(n, n, 0.0);
+  for (std::size_t i = 0; i < nh; ++i) {
+    for (std::size_t j = 0; j < nh; ++j) {
+      k(i, j) = h(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < ne; ++i) {
+    for (std::size_t j = 0; j < nh; ++j) {
+      k(nh + i, j) = d(i, j);
+      k(j, nh + i) = d(i, j);
+    }
+  }
+  Matrix rhs(n, b1.cols(), 0.0);
+  for (std::size_t c = 0; c < b1.cols(); ++c) {
+    for (std::size_t i = 0; i < nh; ++i) {
+      rhs(i, c) = b1(i, c);
+    }
+    for (std::size_t i = 0; i < ne; ++i) {
+      rhs(nh + i, c) = b2(i, c);
+    }
+  }
+  return solve_linear(k, rhs);
+}
+
+namespace {
+double norm1(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      col += std::abs(a(r, c));
+    }
+    best = std::max(best, col);
+  }
+  return best;
+}
+}  // namespace
+
+double condition_number_1(const Matrix& a) {
+  MFCP_CHECK(a.rows() == a.cols(), "condition number of square matrix only");
+  LuFactorization lu(a);
+  const Matrix inv = lu.solve_multi(Matrix::identity(a.rows()));
+  return norm1(a) * norm1(inv);
+}
+
+}  // namespace mfcp

@@ -1,0 +1,26 @@
+// High-level linear solve entry points.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mfcp {
+
+/// Solves A x = b via LU with partial pivoting. b may be n x k (multi-RHS).
+Matrix solve_linear(const Matrix& a, const Matrix& b);
+
+/// Solves the symmetric saddle-point system
+///   [ H  D^T ] [x]   [b1]
+///   [ D  0   ] [y] = [b2]
+/// that arises from equality-constrained stationarity (the reduced KKT
+/// system of paper Eq. 15 when box multipliers vanish at interior points).
+/// H is h x h, D is e x h; b1 is h x k, b2 is e x k. Returns the stacked
+/// (h+e) x k solution [x; y].
+Matrix solve_saddle_point(const Matrix& h, const Matrix& d, const Matrix& b1,
+                          const Matrix& b2);
+
+/// 1-norm condition estimate via the factored determinant fallback:
+/// returns ||A||_1 * ||A^{-1}||_1 computed exactly (dense inverse). Only
+/// intended for diagnostics on the small KKT systems.
+double condition_number_1(const Matrix& a);
+
+}  // namespace mfcp

@@ -1,0 +1,94 @@
+#include "matching/objective.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mfcp::matching {
+
+namespace {
+
+/// Per-cluster effective busy time ζ(n_i) * x_i^T t_i.
+std::vector<double> busy_times(const Matrix& x, const Matrix& times,
+                               const sim::SpeedupCurve& speedup) {
+  MFCP_CHECK(x.same_shape(times), "X and T must both be M x N");
+  std::vector<double> busy(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double load = 0.0;
+    double count = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      load += x(i, j) * times(i, j);
+      count += x(i, j);
+    }
+    busy[i] = speedup.value(count) * load;
+  }
+  return busy;
+}
+
+}  // namespace
+
+double makespan(const Matrix& x, const Matrix& times,
+                const sim::SpeedupCurve& speedup) {
+  const auto busy = busy_times(x, times, speedup);
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+double makespan(const Assignment& assignment, const Matrix& times,
+                const sim::SpeedupCurve& speedup) {
+  return makespan(assignment_to_matrix(assignment, times.rows()), times,
+                  speedup);
+}
+
+double linear_cost(const Matrix& x, const Matrix& times,
+                   const sim::SpeedupCurve& speedup) {
+  const auto busy = busy_times(x, times, speedup);
+  double total = 0.0;
+  for (double b : busy) {
+    total += b;
+  }
+  return total;
+}
+
+double average_reliability(const Matrix& x, const Matrix& reliability) {
+  MFCP_CHECK(x.same_shape(reliability), "X and A must both be M x N");
+  MFCP_CHECK(x.cols() > 0, "no tasks");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * reliability[i];
+  }
+  return acc / static_cast<double>(x.cols());
+}
+
+double average_reliability(const Assignment& assignment,
+                           const Matrix& reliability) {
+  return average_reliability(
+      assignment_to_matrix(assignment, reliability.rows()), reliability);
+}
+
+double reliability_slack(const Matrix& x, const MatchingProblem& problem) {
+  return average_reliability(x, problem.reliability) - problem.gamma;
+}
+
+bool is_feasible(const Assignment& assignment,
+                 const MatchingProblem& problem) {
+  return average_reliability(assignment, problem.reliability) >=
+         problem.gamma - 1e-12;
+}
+
+double utilization(const Assignment& assignment, const Matrix& times,
+                   const sim::SpeedupCurve& speedup) {
+  const auto busy =
+      busy_times(assignment_to_matrix(assignment, times.rows()), times,
+                 speedup);
+  const double peak = *std::max_element(busy.begin(), busy.end());
+  if (peak <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double b : busy) {
+    total += b;
+  }
+  return total / (static_cast<double>(busy.size()) * peak);
+}
+
+}  // namespace mfcp::matching

@@ -1,0 +1,40 @@
+// Hard (non-smoothed) objective and constraint evaluation — used to score
+// final discrete assignments and to define the evaluation metrics.
+#pragma once
+
+#include "matching/problem.hpp"
+
+namespace mfcp::matching {
+
+/// Makespan f(X, T) = max_i ζ(n_i) x_i^T t_i for a (possibly fractional) X.
+double makespan(const Matrix& x, const Matrix& times,
+                const sim::SpeedupCurve& speedup);
+
+/// Makespan of a discrete assignment.
+double makespan(const Assignment& assignment, const Matrix& times,
+                const sim::SpeedupCurve& speedup);
+
+/// Linear cost Σ_i ζ(n_i) x_i^T t_i (the ablation-(1) objective: total
+/// instead of maximum cluster time).
+double linear_cost(const Matrix& x, const Matrix& times,
+                   const sim::SpeedupCurve& speedup);
+
+/// Average task reliability (1/N) Σ_i x_i^T a_i.
+double average_reliability(const Matrix& x, const Matrix& reliability);
+double average_reliability(const Assignment& assignment,
+                           const Matrix& reliability);
+
+/// Constraint value g(X, A) = average_reliability - gamma.
+double reliability_slack(const Matrix& x, const MatchingProblem& problem);
+
+/// True when the assignment satisfies the reliability constraint.
+bool is_feasible(const Assignment& assignment,
+                 const MatchingProblem& problem);
+
+/// Cluster utilization: Σ_i busy_i / (M · max_i busy_i), where busy_i =
+/// ζ(n_i) x_i^T t_i. Equals 1 for a perfectly balanced assignment (the
+/// paper's third evaluation metric).
+double utilization(const Assignment& assignment, const Matrix& times,
+                   const sim::SpeedupCurve& speedup);
+
+}  // namespace mfcp::matching

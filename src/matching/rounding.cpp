@@ -1,0 +1,114 @@
+#include "matching/rounding.hpp"
+
+#include <algorithm>
+
+#include "matching/objective.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::matching {
+
+Assignment round_argmax(const Matrix& x) { return matrix_to_assignment(x); }
+
+Assignment round_with_repair(const Matrix& x,
+                             const MatchingProblem& problem) {
+  Assignment assignment = round_argmax(x);
+  const std::size_t m = problem.num_clusters();
+  const std::size_t n = problem.num_tasks();
+  MFCP_CHECK(assignment.size() == n, "rounded assignment length mismatch");
+
+  auto avg_rel = [&]() {
+    return average_reliability(assignment, problem.reliability);
+  };
+  while (avg_rel() < problem.gamma - 1e-12) {
+    double best_score = 0.0;
+    std::size_t best_j = n;
+    int best_target = -1;
+    const double base_ms =
+        makespan(assignment, problem.times, problem.speedup);
+    for (std::size_t j = 0; j < n; ++j) {
+      const int from = assignment[j];
+      for (std::size_t i = 0; i < m; ++i) {
+        if (static_cast<int>(i) == from) {
+          continue;
+        }
+        const double drel =
+            problem.reliability(i, j) -
+            problem.reliability(static_cast<std::size_t>(from), j);
+        if (drel <= 0.0) {
+          continue;
+        }
+        assignment[j] = static_cast<int>(i);
+        const double dms = std::max(
+            makespan(assignment, problem.times, problem.speedup) - base_ms,
+            1e-9);
+        assignment[j] = from;
+        const double score = drel / dms;
+        if (score > best_score) {
+          best_score = score;
+          best_j = j;
+          best_target = static_cast<int>(i);
+        }
+      }
+    }
+    if (best_j == n) {
+      break;
+    }
+    assignment[best_j] = best_target;
+  }
+  return assignment;
+}
+
+Assignment improve_local_search(Assignment assignment,
+                                const MatchingProblem& problem,
+                                std::size_t max_passes) {
+  const std::size_t m = problem.num_clusters();
+  const std::size_t n = problem.num_tasks();
+  MFCP_CHECK(assignment.size() == n, "assignment length mismatch");
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    double current_ms = makespan(assignment, problem.times, problem.speedup);
+    // Single-task moves.
+    for (std::size_t j = 0; j < n; ++j) {
+      const int from = assignment[j];
+      for (std::size_t i = 0; i < m; ++i) {
+        if (static_cast<int>(i) == from) {
+          continue;
+        }
+        assignment[j] = static_cast<int>(i);
+        const double ms =
+            makespan(assignment, problem.times, problem.speedup);
+        if (ms < current_ms - 1e-12 && is_feasible(assignment, problem)) {
+          current_ms = ms;
+          improved = true;
+        } else {
+          assignment[j] = from;
+        }
+      }
+    }
+    // Pairwise swaps: escape the local optima single moves cannot leave
+    // (e.g. exchanging a long and a short task between two busy clusters).
+    for (std::size_t j1 = 0; j1 < n; ++j1) {
+      for (std::size_t j2 = j1 + 1; j2 < n; ++j2) {
+        if (assignment[j1] == assignment[j2]) {
+          continue;
+        }
+        std::swap(assignment[j1], assignment[j2]);
+        const double ms =
+            makespan(assignment, problem.times, problem.speedup);
+        if (ms < current_ms - 1e-12 && is_feasible(assignment, problem)) {
+          current_ms = ms;
+          improved = true;
+        } else {
+          std::swap(assignment[j1], assignment[j2]);
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace mfcp::matching

@@ -1,0 +1,26 @@
+// Rounding relaxed matchings to deployable discrete assignments (§3.2:
+// "during testing or system deployment, the matching X* is obtained using
+// the continuous version ... and subsequently rounded").
+#pragma once
+
+#include "matching/problem.hpp"
+
+namespace mfcp::matching {
+
+/// Argmax rounding: task j goes to the cluster with the largest relaxed
+/// weight in column j.
+Assignment round_argmax(const Matrix& x);
+
+/// Argmax rounding followed by a feasibility repair identical to the
+/// greedy solver's: tasks are moved toward more reliable clusters (best
+/// reliability gain per makespan increase) until the constraint holds or
+/// no improving move exists.
+Assignment round_with_repair(const Matrix& x, const MatchingProblem& problem);
+
+/// Local-search polish: single-task moves that strictly reduce makespan
+/// while preserving feasibility, until a local optimum (bounded passes).
+Assignment improve_local_search(Assignment assignment,
+                                const MatchingProblem& problem,
+                                std::size_t max_passes = 8);
+
+}  // namespace mfcp::matching

@@ -1,0 +1,40 @@
+// Mirror descent (exponentiated gradient) on the product of simplices.
+//
+// Update: X(:, j) <- normalize( X(:, j) ⊙ exp(-η ∇_j F) ).
+//
+// Unlike the literal Algorithm-1 update (solver_gd.hpp), whose softmax
+// re-projection contracts iterates toward the uniform column, mirror
+// descent's fixed points are exactly the KKT stationary points of
+// min F over the simplices — which is what the implicit-differentiation
+// module (diff/kkt.hpp) needs the inner solution to satisfy. It is the
+// default inner solver; solver_gd remains available for paper-faithful
+// ablation.
+#pragma once
+
+#include "matching/solver_gd.hpp"
+
+namespace mfcp::matching {
+
+struct MirrorSolverConfig {
+  std::size_t max_iterations = 2000;
+  double learning_rate = 0.8;
+  /// Converged when the simplex-projected gradient residual (per column:
+  /// max over support of |g_ij - <g_j, x_j>|) falls below this.
+  double tolerance = 1e-8;
+  /// Floor keeping iterates strictly interior (log-domain stability and
+  /// interior KKT multipliers).
+  double floor = 1e-12;
+};
+
+/// Stationarity residual: max_j max_i x_ij>floor of |g_ij - <g_j, x_j>|.
+/// Zero exactly at an interior KKT point of min F s.t. columns on simplex.
+double stationarity_residual(const ContinuousObjective& objective,
+                             const Matrix& x, double floor = 1e-9);
+
+SolveResult solve_mirror(const ContinuousObjective& objective,
+                         const MirrorSolverConfig& config = {});
+
+SolveResult solve_mirror_from(const ContinuousObjective& objective, Matrix x0,
+                              const MirrorSolverConfig& config = {});
+
+}  // namespace mfcp::matching

@@ -1,0 +1,45 @@
+#include "mfcp/baseline_tam.hpp"
+
+#include "support/check.hpp"
+
+namespace mfcp::core {
+
+TamModel fit_tam(const sim::Dataset& train) {
+  MFCP_CHECK(train.num_tasks() > 0, "empty training set");
+  const std::size_t m = train.num_clusters();
+  const std::size_t n = train.num_tasks();
+  TamModel model;
+  model.mean_time.assign(m, 0.0);
+  model.mean_reliability.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      model.mean_time[i] += train.times(i, j);
+      model.mean_reliability[i] += train.reliability(i, j);
+    }
+    model.mean_time[i] /= static_cast<double>(n);
+    model.mean_reliability[i] /= static_cast<double>(n);
+  }
+  return model;
+}
+
+Matrix tam_time_matrix(const TamModel& model, std::size_t num_tasks) {
+  Matrix t(model.mean_time.size(), num_tasks);
+  for (std::size_t i = 0; i < model.mean_time.size(); ++i) {
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      t(i, j) = model.mean_time[i];
+    }
+  }
+  return t;
+}
+
+Matrix tam_reliability_matrix(const TamModel& model, std::size_t num_tasks) {
+  Matrix a(model.mean_reliability.size(), num_tasks);
+  for (std::size_t i = 0; i < model.mean_reliability.size(); ++i) {
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      a(i, j) = model.mean_reliability[i];
+    }
+  }
+  return a;
+}
+
+}  // namespace mfcp::core

@@ -1,0 +1,24 @@
+// Task-Agnostic Matching (TAM) baseline (paper §4.1.2): ignores task
+// variation entirely — every task is predicted to take a cluster's
+// training-set *average* time with its average reliability.
+#pragma once
+
+#include "sim/dataset.hpp"
+
+namespace mfcp::core {
+
+struct TamModel {
+  std::vector<double> mean_time;         // per cluster
+  std::vector<double> mean_reliability;  // per cluster
+};
+
+/// Computes the per-cluster averages over the training set.
+TamModel fit_tam(const sim::Dataset& train);
+
+/// T̂: each row i is constant at mean_time[i] (M x n).
+Matrix tam_time_matrix(const TamModel& model, std::size_t num_tasks);
+
+/// Â: each row i is constant at mean_reliability[i].
+Matrix tam_reliability_matrix(const TamModel& model, std::size_t num_tasks);
+
+}  // namespace mfcp::core

@@ -1,0 +1,69 @@
+#include "mfcp/baseline_ucb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mfcp::core {
+
+UcbModel fit_ucb(PlatformPredictor& predictor, const sim::Dataset& calib,
+                 double kappa) {
+  MFCP_CHECK(calib.num_clusters() == predictor.num_clusters(),
+             "dataset and predictor disagree on cluster count");
+  MFCP_CHECK(calib.num_tasks() > 1, "calibration set too small");
+  MFCP_CHECK(kappa >= 0.0, "kappa must be non-negative");
+
+  const std::size_t m = predictor.num_clusters();
+  const std::size_t n = calib.num_tasks();
+  UcbModel model;
+  model.kappa = kappa;
+  model.sigma_time.assign(m, 0.0);
+  model.sigma_reliability.assign(m, 0.0);
+
+  const Matrix t_hat = predictor.predict_time_matrix(calib.features);
+  const Matrix a_hat = predictor.predict_reliability_matrix(calib.features);
+  for (std::size_t i = 0; i < m; ++i) {
+    double sq_t = 0.0;
+    double sq_a = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dt = t_hat(i, j) - calib.times(i, j);
+      const double da = a_hat(i, j) - calib.reliability(i, j);
+      sq_t += dt * dt;
+      sq_a += da * da;
+    }
+    model.sigma_time[i] = std::sqrt(sq_t / static_cast<double>(n));
+    model.sigma_reliability[i] = std::sqrt(sq_a / static_cast<double>(n));
+  }
+  return model;
+}
+
+Matrix ucb_time_matrix(const UcbModel& model, PlatformPredictor& predictor,
+                       const Matrix& features) {
+  Matrix t = predictor.predict_time_matrix(features);
+  MFCP_CHECK(model.sigma_time.size() == t.rows(),
+             "model and predictor disagree on cluster count");
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    for (std::size_t j = 0; j < t.cols(); ++j) {
+      t(i, j) += model.kappa * model.sigma_time[i];
+    }
+  }
+  return t;
+}
+
+Matrix ucb_reliability_matrix(const UcbModel& model,
+                              PlatformPredictor& predictor,
+                              const Matrix& features) {
+  Matrix a = predictor.predict_reliability_matrix(features);
+  MFCP_CHECK(model.sigma_reliability.size() == a.rows(),
+             "model and predictor disagree on cluster count");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::clamp(
+          a(i, j) - model.kappa * model.sigma_reliability[i], 0.01, 0.999);
+    }
+  }
+  return a;
+}
+
+}  // namespace mfcp::core

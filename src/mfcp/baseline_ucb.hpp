@@ -1,0 +1,36 @@
+// Upper-Confidence-Bound baseline (paper §4.1.2, after Zhou et al.):
+// prediction-error-robust matching. Predictors are the TSM ones; matching
+// consumes *conservative* bounds instead of point estimates —
+//     t̃_ij = t̂_ij + κ σ_t,i   (pessimistic execution time)
+//     ã_ij = â_ij - κ σ_a,i   (pessimistic reliability)
+// with per-cluster residual scales σ estimated on held-out data. Choosing
+// the matching that is best under these bounds is the minimax-flavoured
+// "highest-confidence" selection the paper describes.
+#pragma once
+
+#include "mfcp/predictor.hpp"
+#include "sim/dataset.hpp"
+
+namespace mfcp::core {
+
+struct UcbModel {
+  std::vector<double> sigma_time;         // per-cluster residual std of t̂
+  std::vector<double> sigma_reliability;  // per-cluster residual std of â
+  double kappa = 1.0;                     // confidence width multiplier
+};
+
+/// Estimates per-cluster residual scales of an (already trained) predictor
+/// on a calibration set.
+UcbModel fit_ucb(PlatformPredictor& predictor, const sim::Dataset& calib,
+                 double kappa = 1.0);
+
+/// Pessimistic time matrix t̂ + κ σ_t (M x n).
+Matrix ucb_time_matrix(const UcbModel& model, PlatformPredictor& predictor,
+                       const Matrix& features);
+
+/// Pessimistic reliability matrix clamp(â - κ σ_a, 0.01, 0.999).
+Matrix ucb_reliability_matrix(const UcbModel& model,
+                              PlatformPredictor& predictor,
+                              const Matrix& features);
+
+}  // namespace mfcp::core

@@ -1,0 +1,148 @@
+// Internal helpers shared by the MFCP trainers: sampling a matching round
+// from the training set and building the configured training objective.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "autograd/ops.hpp"
+#include "matching/entropy.hpp"
+#include "matching/penalty.hpp"
+#include "mfcp/mfcp_config.hpp"
+#include "nn/mlp.hpp"
+#include "sim/dataset.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::core::detail {
+
+/// One training round: N tasks with their features and measured metrics.
+struct Round {
+  Matrix features;     // n x d
+  Matrix times;        // M x n
+  Matrix reliability;  // M x n
+};
+
+inline Round sample_round(const sim::Dataset& data, std::size_t round_tasks,
+                          Rng& rng) {
+  MFCP_CHECK(round_tasks > 0 && round_tasks <= data.num_tasks(),
+             "round size must be in [1, train set size]");
+  const auto order = rng.permutation(data.num_tasks());
+  Round round;
+  round.features = Matrix(round_tasks, data.feature_dim());
+  round.times = Matrix(data.num_clusters(), round_tasks);
+  round.reliability = Matrix(data.num_clusters(), round_tasks);
+  for (std::size_t k = 0; k < round_tasks; ++k) {
+    const std::size_t j = order[k];
+    for (std::size_t c = 0; c < data.feature_dim(); ++c) {
+      round.features(k, c) = data.features(j, c);
+    }
+    for (std::size_t i = 0; i < data.num_clusters(); ++i) {
+      round.times(i, k) = data.times(i, j);
+      round.reliability(i, k) = data.reliability(i, j);
+    }
+  }
+  return round;
+}
+
+/// Builds the configured continuous training objective over (T, A),
+/// without the entropic term (see make_objective).
+inline std::unique_ptr<matching::ContinuousObjective> make_base_objective(
+    const MfcpConfig& config, Matrix times, Matrix reliability) {
+  switch (config.cost_model) {
+    case CostModel::kSmoothedMax:
+      if (config.constraint_model == ConstraintModel::kLogBarrier) {
+        return std::make_unique<matching::BarrierObjective>(
+            std::move(times), std::move(reliability), config.gamma,
+            config.barrier, config.speedup);
+      }
+      return std::make_unique<matching::HardPenaltyObjective>(
+          std::move(times), std::move(reliability), config.gamma,
+          config.barrier.beta, config.penalty_lambda, config.speedup);
+    case CostModel::kLinearTotal:
+      MFCP_CHECK(config.constraint_model == ConstraintModel::kLogBarrier,
+                 "linear-cost ablation uses the log barrier");
+      return std::make_unique<matching::LinearCostBarrierObjective>(
+          std::move(times), std::move(reliability), config.gamma,
+          config.barrier.lambda, config.speedup);
+  }
+  MFCP_CHECK(false, "unknown cost model");
+  return nullptr;
+}
+
+/// Training objective including the entropic regularizer when configured.
+inline std::unique_ptr<matching::ContinuousObjective> make_objective(
+    const MfcpConfig& config, Matrix times, Matrix reliability) {
+  auto base =
+      make_base_objective(config, std::move(times), std::move(reliability));
+  if (config.entropy_tau > 0.0) {
+    return std::make_unique<matching::EntropicObjective>(std::move(base),
+                                                         config.entropy_tau);
+  }
+  return base;
+}
+
+/// KKT-differentiable variant for the AD trainer (smoothed-max cost only;
+/// the linear cost's argmin is piecewise constant so no useful analytic
+/// sensitivity exists — use the FG trainer for that ablation).
+inline std::unique_ptr<matching::KktDifferentiableObjective>
+make_kkt_objective(const MfcpConfig& config, Matrix times,
+                   Matrix reliability) {
+  MFCP_CHECK(config.cost_model == CostModel::kSmoothedMax,
+             "MFCP-AD requires the smoothed-max cost model");
+  MFCP_CHECK(config.speedup.is_constant(),
+             "MFCP-AD requires exclusive execution (convex case)");
+  std::unique_ptr<matching::KktDifferentiableObjective> base;
+  if (config.constraint_model == ConstraintModel::kLogBarrier) {
+    base = std::make_unique<matching::BarrierObjective>(
+        std::move(times), std::move(reliability), config.gamma,
+        config.barrier, config.speedup);
+  } else {
+    base = std::make_unique<matching::HardPenaltyObjective>(
+        std::move(times), std::move(reliability), config.gamma,
+        config.barrier.beta, config.penalty_lambda, config.speedup);
+  }
+  if (config.entropy_tau > 0.0) {
+    return std::make_unique<matching::EntropicKktObjective>(
+        std::move(base), config.entropy_tau);
+  }
+  return base;
+}
+
+/// Scales `g` so its L2 norm does not exceed `max_norm` (0 = disabled).
+inline void clip_norm(Matrix& g, double max_norm) {
+  if (max_norm <= 0.0) {
+    return;
+  }
+  double sq = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    sq += g[i] * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    g *= max_norm / norm;
+  }
+}
+
+/// A scalar whose gradient with respect to `y` is exactly `seed`:
+/// sum(y ⊙ seed). Lets the externally-computed matching-layer gradient
+/// (Eq. 7's middle term) enter a normal autograd backward pass, so it can
+/// be combined with the MSE anchor in a single traversal (two backward
+/// calls on one graph would double-count).
+inline nn::Variable inject_gradient(const nn::Variable& y,
+                                    const Matrix& seed) {
+  return autograd::sum_all(
+      autograd::mul(y, autograd::Variable(seed, /*requires_grad=*/false)));
+}
+
+/// Replaces row `row` of `base` with the entries of `values` (n x 1).
+inline Matrix with_row(const Matrix& base, std::size_t row,
+                       const Matrix& values) {
+  MFCP_CHECK(values.size() == base.cols(), "row length mismatch");
+  Matrix out = base;
+  for (std::size_t j = 0; j < base.cols(); ++j) {
+    out(row, j) = values[j];
+  }
+  return out;
+}
+
+}  // namespace mfcp::core::detail

@@ -1,0 +1,35 @@
+#include "mfcp/metrics.hpp"
+
+#include <sstream>
+
+namespace mfcp::core {
+
+void MetricsAccumulator::add(const MatchOutcome& outcome) {
+  regret_.add(outcome.regret);
+  reliability_.add(outcome.reliability);
+  utilization_.add(outcome.utilization);
+  if (outcome.feasible) {
+    ++feasible_;
+  }
+}
+
+double MetricsAccumulator::feasible_fraction() const noexcept {
+  if (rounds() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(feasible_) / static_cast<double>(rounds());
+}
+
+std::string MetricsAccumulator::summary(int precision) const {
+  std::ostringstream os;
+  os << "regret " << format_mean_std(regret_.mean(), regret_.stddev(),
+                                     precision)
+     << " | reliability "
+     << format_mean_std(reliability_.mean(), reliability_.stddev(), precision)
+     << " | utilization "
+     << format_mean_std(utilization_.mean(), utilization_.stddev(),
+                        precision);
+  return os.str();
+}
+
+}  // namespace mfcp::core

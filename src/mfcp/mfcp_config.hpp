@@ -1,0 +1,103 @@
+// Shared configuration for the decision-focused (MFCP) trainers.
+#pragma once
+
+#include <cstdint>
+
+#include "diff/zeroth_order.hpp"
+#include "matching/barrier.hpp"
+#include "matching/solver_mirror.hpp"
+#include "sim/speedup.hpp"
+
+namespace mfcp::core {
+
+/// Which time-cost function the training objective uses (Table 1 row (1)
+/// ablates the smoothed max down to a linear total).
+enum class CostModel { kSmoothedMax, kLinearTotal };
+
+/// How the reliability constraint enters the objective (Table 1 row (2)
+/// ablates the log barrier to a hard hinge penalty).
+enum class ConstraintModel { kLogBarrier, kHardPenalty };
+
+struct MfcpConfig {
+  std::size_t epochs = 80;
+  /// N: tasks per matching round sampled from the training set (the paper
+  /// trains on rounds of the same size it matches at deployment).
+  std::size_t round_tasks = 5;
+  /// Rounds averaged per parameter update. A single round's regret
+  /// gradient is extremely noisy (N is small); averaging B rounds divides
+  /// the variance by B at B times the solve cost.
+  std::size_t rounds_per_step = 4;
+  double learning_rate = 3e-3;
+  double gamma = 0.8;
+
+  /// Weight of an auxiliary MSE term added to the regret loss. Pure regret
+  /// training leaves the predictors unanchored (any â drift that does not
+  /// change the in-sample matching is free), which degrades them as
+  /// predictors; a small anchor keeps them calibrated. Set to 0 for the
+  /// paper's pure-regret objective.
+  double anchor_weight = 0.1;
+
+  /// Clip threshold (L2 norm) for the per-round matching-layer seed
+  /// gradients dL/dt̂_i, dL/dâ_i — the barrier can spike them when a round
+  /// sits near the reliability boundary. 0 disables clipping.
+  double seed_clip_norm = 1.0;
+
+  CostModel cost_model = CostModel::kSmoothedMax;
+  ConstraintModel constraint_model = ConstraintModel::kLogBarrier;
+  /// Weight of the hinge when constraint_model == kHardPenalty.
+  double penalty_lambda = 2.0;
+
+  /// Entropy weight τ for the inner (training-time) matching problem.
+  /// Keeps the relaxed optimum strictly interior so dX*/dT̂ is non-zero
+  /// (see matching/entropy.hpp). 0 disables — the paper's bare relaxation,
+  /// whose argmin is a vertex almost everywhere and yields no gradient.
+  double entropy_tau = 0.1;
+
+  matching::BarrierConfig barrier;
+  matching::MirrorSolverConfig solver{.max_iterations = 600,
+                                      .learning_rate = 0.8,
+                                      .tolerance = 1e-7,
+                                      .floor = 1e-12};
+  sim::SpeedupCurve speedup = sim::SpeedupCurve::exclusive();
+
+  /// Zeroth-order estimator settings (MFCP-FG only). The time delta is on
+  /// the hour scale of the predictions; the reliability delta on the
+  /// probability scale.
+  diff::ForwardGradientConfig forward_gradient{.samples = 16,
+                                               .delta = 0.5,
+                                               .delta_reliability = 0.05};
+
+  /// MFCP-FG loss: when true (default), the zeroth-order estimator
+  /// differentiates the *deployed* pipeline loss directly — the true
+  /// makespan of the rounded assignment plus a hinge on the true
+  /// reliability shortfall. Randomized smoothing over the Gaussian
+  /// perturbations handles the piecewise-constant rounding (the
+  /// perturbed-optimizer view). When false, FG estimates gradients of the
+  /// relaxed surrogate like MFCP-AD (the literal Algorithm-2 reading),
+  /// which rewards hedged relaxed solutions that round poorly.
+  bool fg_discrete_loss = true;
+  /// Hinge weight (hours per unit reliability shortfall per task) in the
+  /// discrete FG loss.
+  double fg_reliability_penalty = 2.0;
+
+  /// Predict ALL clusters' rows during the training solve (the bilevel
+  /// problem of Eq. 5/12, and what deployment sees), rather than replacing
+  /// only cluster i's row and keeping the others at measured values
+  /// (Algorithm 2 line 3). Joint mode aligns the training regime with the
+  /// deployed one and needs one inner solve per round instead of M.
+  bool joint_prediction = true;
+
+  /// Warm start from MSE pretraining (see trainer_tsm.hpp).
+  bool pretrain = true;
+  std::size_t pretrain_epochs = 300;
+  double pretrain_learning_rate = 1e-2;
+
+  std::uint64_t seed = 0xacdcULL;
+};
+
+struct MfcpTrainResult {
+  std::vector<double> loss_history;  // surrogate regret per epoch
+  double seconds = 0.0;
+};
+
+}  // namespace mfcp::core

@@ -1,0 +1,195 @@
+#include "mfcp/trainer_mfcp_ad.hpp"
+
+#include "diff/kkt.hpp"
+#include "mfcp/detail/round.hpp"
+#include "mfcp/regret.hpp"
+#include "mfcp/trainer_tsm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mfcp::core {
+
+namespace {
+
+/// Applies one cluster's seed gradients (plus the MSE anchor) through the
+/// predictor tapes; `scale` carries the 1/rounds_per_step factor.
+void backward_cluster(const MfcpConfig& config, const detail::Round& round,
+                      std::size_t cluster_index, nn::Variable& t_hat,
+                      nn::Variable& a_hat, Matrix seed_t, Matrix seed_a,
+                      const Matrix& scale) {
+  const std::size_t n = round.features.rows();
+  detail::clip_norm(seed_t, config.seed_clip_norm);
+  detail::clip_norm(seed_a, config.seed_clip_norm);
+
+  Matrix t_target(n, 1);
+  Matrix a_target(n, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    t_target(j, 0) = round.times(cluster_index, j);
+    a_target(j, 0) = round.reliability(cluster_index, j);
+  }
+  auto loss_t = detail::inject_gradient(t_hat, seed_t);
+  if (config.anchor_weight > 0.0) {
+    loss_t = autograd::add(loss_t,
+                           autograd::scale(nn::mse(t_hat, t_target),
+                                           config.anchor_weight));
+  }
+  loss_t.backward(scale);
+
+  auto loss_a = detail::inject_gradient(a_hat, seed_a);
+  if (config.anchor_weight > 0.0) {
+    loss_a = autograd::add(loss_a,
+                           autograd::scale(nn::mse(a_hat, a_target),
+                                           config.anchor_weight));
+  }
+  loss_a.backward(scale);
+}
+
+}  // namespace
+
+MfcpTrainResult train_mfcp_ad(PlatformPredictor& predictor,
+                              const sim::Dataset& train,
+                              const MfcpConfig& config) {
+  MFCP_CHECK(train.num_clusters() == predictor.num_clusters(),
+             "dataset and predictor disagree on cluster count");
+  MFCP_CHECK(config.rounds_per_step > 0, "need at least one round per step");
+  Stopwatch watch;
+  MfcpTrainResult result;
+  Rng rng(config.seed);
+
+  if (config.pretrain) {
+    TsmConfig pre;
+    pre.epochs = config.pretrain_epochs;
+    pre.learning_rate = config.pretrain_learning_rate;
+    pre.seed = rng.next_u64();
+    train_tsm(predictor, train, pre);
+  }
+
+  const std::size_t m = predictor.num_clusters();
+  std::vector<std::unique_ptr<nn::Adam>> time_opts;
+  std::vector<std::unique_ptr<nn::Adam>> rel_opts;
+  for (std::size_t i = 0; i < m; ++i) {
+    time_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).time_model().parameters(),
+        config.learning_rate));
+    rel_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).reliability_model().parameters(),
+        config.learning_rate));
+  }
+
+  const std::size_t n = config.round_tasks;
+  const Matrix batch_scale(
+      1, 1, 1.0 / static_cast<double>(config.rounds_per_step));
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = 0; i < m; ++i) {
+      time_opts[i]->zero_grad();
+      rel_opts[i]->zero_grad();
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t loss_terms = 0;
+    for (std::size_t b = 0; b < config.rounds_per_step; ++b) {
+      const auto round = detail::sample_round(train, n, rng);
+
+      // True-metric objective: defines the loss and its dL/dX* term.
+      const auto true_objective =
+          detail::make_kkt_objective(config, round.times, round.reliability);
+      const auto x_true =
+          matching::solve_mirror(*true_objective, config.solver).x;
+
+      if (config.joint_prediction) {
+        // Eq. 5/12: the inner problem sees every cluster's predictions —
+        // one solve, one adjoint, M backward passes.
+        std::vector<nn::Variable> t_hats;
+        std::vector<nn::Variable> a_hats;
+        Matrix t_pred = round.times;
+        Matrix a_pred = round.reliability;
+        for (std::size_t i = 0; i < m; ++i) {
+          nn::Variable z_time(round.features, /*requires_grad=*/false);
+          t_hats.push_back(
+              predictor.cluster(i).forward_time(z_time));
+          nn::Variable z_rel(round.features, /*requires_grad=*/false);
+          a_hats.push_back(
+              predictor.cluster(i).forward_reliability(z_rel));
+          for (std::size_t j = 0; j < n; ++j) {
+            t_pred(i, j) = t_hats.back().value()[j];
+            a_pred(i, j) = a_hats.back().value()[j];
+          }
+        }
+        const auto pred_objective =
+            detail::make_kkt_objective(config, t_pred, a_pred);
+        const auto x_star =
+            matching::solve_mirror(*pred_objective, config.solver).x;
+        epoch_loss += surrogate_regret(*true_objective, x_star, x_true);
+        ++loss_terms;
+
+        const Matrix upstream =
+            surrogate_upstream_gradient(*true_objective, x_star);
+        const auto vjp = diff::kkt_vjp(*pred_objective, x_star, upstream);
+
+        for (std::size_t i = 0; i < m; ++i) {
+          Matrix seed_t(n, 1);
+          Matrix seed_a(n, 1);
+          for (std::size_t j = 0; j < n; ++j) {
+            seed_t(j, 0) = vjp.grad_t(i, j);
+            seed_a(j, 0) = vjp.grad_a(i, j);
+          }
+          backward_cluster(config, round, i, t_hats[i], a_hats[i],
+                           std::move(seed_t), std::move(seed_a),
+                           batch_scale);
+        }
+      } else {
+        // Algorithm-2-faithful per-cluster mode: cluster i's row is
+        // predicted, the others stay at their measured values.
+        for (std::size_t i = 0; i < m; ++i) {
+          auto& cluster = predictor.cluster(i);
+          nn::Variable z_time(round.features, /*requires_grad=*/false);
+          auto t_hat = cluster.forward_time(z_time);
+          nn::Variable z_rel(round.features, /*requires_grad=*/false);
+          auto a_hat = cluster.forward_reliability(z_rel);
+
+          const Matrix t_pred =
+              detail::with_row(round.times, i, t_hat.value());
+          const Matrix a_pred =
+              detail::with_row(round.reliability, i, a_hat.value());
+
+          const auto pred_objective =
+              detail::make_kkt_objective(config, t_pred, a_pred);
+          const auto x_star =
+              matching::solve_mirror(*pred_objective, config.solver).x;
+          epoch_loss += surrogate_regret(*true_objective, x_star, x_true);
+          ++loss_terms;
+
+          const Matrix upstream =
+              surrogate_upstream_gradient(*true_objective, x_star);
+          const auto vjp = diff::kkt_vjp(*pred_objective, x_star, upstream);
+
+          Matrix seed_t(n, 1);
+          Matrix seed_a(n, 1);
+          for (std::size_t j = 0; j < n; ++j) {
+            seed_t(j, 0) = vjp.grad_t(i, j);
+            seed_a(j, 0) = vjp.grad_a(i, j);
+          }
+          backward_cluster(config, round, i, t_hat, a_hat,
+                           std::move(seed_t), std::move(seed_a),
+                           batch_scale);
+        }
+      }
+    }
+
+    // Alternating flavour of §3.3: ω and φ steps consume partial
+    // derivatives computed with the other head's predictions held fixed.
+    for (std::size_t i = 0; i < m; ++i) {
+      time_opts[i]->step();
+      rel_opts[i]->step();
+    }
+    result.loss_history.push_back(epoch_loss /
+                                  static_cast<double>(loss_terms));
+  }
+
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace mfcp::core

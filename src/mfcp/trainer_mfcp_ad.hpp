@@ -1,0 +1,30 @@
+// MFCP with Analytical Differentiation (MFCP-AD, paper §3.3).
+//
+// Per epoch, for every cluster i (Algorithm 2's outer structure, with the
+// gradient of the matching layer computed analytically instead of by
+// perturbation):
+//   1. t̂_i = m_ω_i(z), â_i = m_φ_i(z) over the round's tasks;
+//   2. T̂ = T with row i replaced by t̂_i (other clusters stay at their
+//      measured values, exactly as Algorithm 2 line 3), likewise Â;
+//   3. X*(T̂, Â) = argmin of the barrier objective via mirror descent;
+//   4. dL/dX*  =  (1/N) ∇_X F(X*, T, A)  (true metrics; Eq. 7 first term);
+//   5. dX*/dt̂_i, dX*/dâ_i via the KKT system (Eq. 15), folded into
+//      vector-Jacobian products (diff/kkt.hpp);
+//   6. backprop the resulting seed gradients through the predictor tapes
+//      and take optimizer steps — ω and φ alternately, holding the other's
+//      predictions fixed within the step (paper §3.3, last paragraph).
+#pragma once
+
+#include "mfcp/mfcp_config.hpp"
+#include "mfcp/predictor.hpp"
+#include "sim/dataset.hpp"
+
+namespace mfcp::core {
+
+/// Decision-focused fine-tuning with analytic matching gradients. Requires
+/// the convex setting (smoothed-max cost, exclusive execution).
+MfcpTrainResult train_mfcp_ad(PlatformPredictor& predictor,
+                              const sim::Dataset& train,
+                              const MfcpConfig& config);
+
+}  // namespace mfcp::core

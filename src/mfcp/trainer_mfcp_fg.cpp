@@ -1,0 +1,240 @@
+#include "mfcp/trainer_mfcp_fg.hpp"
+
+#include <algorithm>
+
+#include "matching/objective.hpp"
+#include "matching/rounding.hpp"
+#include "mfcp/detail/round.hpp"
+#include "mfcp/regret.hpp"
+#include "mfcp/trainer_tsm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mfcp::core {
+
+namespace {
+
+void backward_cluster(const MfcpConfig& config, const detail::Round& round,
+                      std::size_t cluster_index, nn::Variable& t_hat,
+                      nn::Variable& a_hat, Matrix seed_t, Matrix seed_a,
+                      const Matrix& scale) {
+  const std::size_t n = round.features.rows();
+  detail::clip_norm(seed_t, config.seed_clip_norm);
+  detail::clip_norm(seed_a, config.seed_clip_norm);
+
+  Matrix t_target(n, 1);
+  Matrix a_target(n, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    t_target(j, 0) = round.times(cluster_index, j);
+    a_target(j, 0) = round.reliability(cluster_index, j);
+  }
+  auto loss_t = detail::inject_gradient(t_hat, seed_t);
+  if (config.anchor_weight > 0.0) {
+    loss_t = autograd::add(loss_t,
+                           autograd::scale(nn::mse(t_hat, t_target),
+                                           config.anchor_weight));
+  }
+  loss_t.backward(scale);
+
+  auto loss_a = detail::inject_gradient(a_hat, seed_a);
+  if (config.anchor_weight > 0.0) {
+    loss_a = autograd::add(loss_a,
+                           autograd::scale(nn::mse(a_hat, a_target),
+                                           config.anchor_weight));
+  }
+  loss_a.backward(scale);
+}
+
+}  // namespace
+
+MfcpTrainResult train_mfcp_fg(PlatformPredictor& predictor,
+                              const sim::Dataset& train,
+                              const MfcpConfig& config, ThreadPool* pool) {
+  MFCP_CHECK(train.num_clusters() == predictor.num_clusters(),
+             "dataset and predictor disagree on cluster count");
+  MFCP_CHECK(config.rounds_per_step > 0, "need at least one round per step");
+  Stopwatch watch;
+  MfcpTrainResult result;
+  Rng rng(config.seed);
+
+  if (config.pretrain) {
+    TsmConfig pre;
+    pre.epochs = config.pretrain_epochs;
+    pre.learning_rate = config.pretrain_learning_rate;
+    pre.seed = rng.next_u64();
+    train_tsm(predictor, train, pre);
+  }
+
+  const std::size_t m = predictor.num_clusters();
+  std::vector<std::unique_ptr<nn::Adam>> time_opts;
+  std::vector<std::unique_ptr<nn::Adam>> rel_opts;
+  for (std::size_t i = 0; i < m; ++i) {
+    time_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).time_model().parameters(),
+        config.learning_rate));
+    rel_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).reliability_model().parameters(),
+        config.learning_rate));
+  }
+
+  // Solver for Algorithm 2's inner matching problems: minimizes the
+  // configured objective over relaxed assignments for arbitrary (T, A).
+  // Perturbed inputs may stray outside the valid metric ranges; clamp.
+  const auto solve_matching = [&config](const Matrix& t,
+                                        const Matrix& a) -> Matrix {
+    Matrix tc = t;
+    Matrix ac = a;
+    for (std::size_t k = 0; k < tc.size(); ++k) {
+      tc[k] = std::max(tc[k], 1e-4);
+      ac[k] = std::clamp(ac[k], 0.0, 1.0);
+    }
+    const auto objective =
+        detail::make_objective(config, std::move(tc), std::move(ac));
+    return matching::solve_mirror(*objective, config.solver).x;
+  };
+
+  const std::size_t n = config.round_tasks;
+  const Matrix batch_scale(
+      1, 1, 1.0 / static_cast<double>(config.rounds_per_step));
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = 0; i < m; ++i) {
+      time_opts[i]->zero_grad();
+      rel_opts[i]->zero_grad();
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t loss_terms = 0;
+    for (std::size_t b = 0; b < config.rounds_per_step; ++b) {
+      const auto round = detail::sample_round(train, n, rng);
+
+      const auto true_objective =
+          detail::make_objective(config, round.times, round.reliability);
+      const auto x_true =
+          matching::solve_mirror(*true_objective, config.solver).x;
+
+      // The deployed pipeline loss: true makespan of the rounded
+      // assignment produced from candidate predictions, plus a hinge on
+      // the true reliability shortfall (both per task).
+      const auto deployed_loss = [&](const Matrix& t,
+                                     const Matrix& a) -> double {
+        const Matrix x = solve_matching(t, a);
+        const auto dep = matching::round_argmax(x);
+        const double ms =
+            matching::makespan(dep, round.times, config.speedup);
+        const double rel =
+            matching::average_reliability(dep, round.reliability);
+        const double hinge = std::max(0.0, config.gamma - rel);
+        return ms / static_cast<double>(n) +
+               config.fg_reliability_penalty * hinge;
+      };
+
+      if (config.joint_prediction) {
+        // All rows predicted; one matching solve plus 2S perturbed solves
+        // estimate the full-matrix gradients (Algorithm 2 with the
+        // perturbation applied to the whole prediction matrix).
+        std::vector<nn::Variable> t_hats;
+        std::vector<nn::Variable> a_hats;
+        Matrix t_pred = round.times;
+        Matrix a_pred = round.reliability;
+        for (std::size_t i = 0; i < m; ++i) {
+          nn::Variable z_time(round.features, /*requires_grad=*/false);
+          t_hats.push_back(predictor.cluster(i).forward_time(z_time));
+          nn::Variable z_rel(round.features, /*requires_grad=*/false);
+          a_hats.push_back(
+              predictor.cluster(i).forward_reliability(z_rel));
+          for (std::size_t j = 0; j < n; ++j) {
+            t_pred(i, j) = t_hats.back().value()[j];
+            a_pred(i, j) = a_hats.back().value()[j];
+          }
+        }
+        const Matrix x_star = solve_matching(t_pred, a_pred);
+        epoch_loss += surrogate_regret(*true_objective, x_star, x_true);
+        ++loss_terms;
+
+        Rng sample_rng = rng.split();
+        diff::FullGradients grads;
+        if (config.fg_discrete_loss) {
+          const double base = deployed_loss(t_pred, a_pred);
+          grads = diff::estimate_scalar_full_gradients(
+              deployed_loss, t_pred, a_pred, base,
+              config.forward_gradient, sample_rng, pool);
+        } else {
+          const Matrix upstream =
+              surrogate_upstream_gradient(*true_objective, x_star);
+          grads = diff::estimate_full_gradients(
+              solve_matching, t_pred, a_pred, x_star, upstream,
+              config.forward_gradient, sample_rng, pool);
+        }
+
+        for (std::size_t i = 0; i < m; ++i) {
+          Matrix seed_t(n, 1);
+          Matrix seed_a(n, 1);
+          for (std::size_t j = 0; j < n; ++j) {
+            seed_t(j, 0) = grads.dt(i, j);
+            seed_a(j, 0) = grads.da(i, j);
+          }
+          backward_cluster(config, round, i, t_hats[i], a_hats[i],
+                           std::move(seed_t), std::move(seed_a),
+                           batch_scale);
+        }
+      } else {
+        // Algorithm-2-faithful per-cluster mode.
+        for (std::size_t i = 0; i < m; ++i) {
+          auto& cluster = predictor.cluster(i);
+          nn::Variable z_time(round.features, /*requires_grad=*/false);
+          auto t_hat = cluster.forward_time(z_time);
+          nn::Variable z_rel(round.features, /*requires_grad=*/false);
+          auto a_hat = cluster.forward_reliability(z_rel);
+
+          const Matrix t_pred =
+              detail::with_row(round.times, i, t_hat.value());
+          const Matrix a_pred =
+              detail::with_row(round.reliability, i, a_hat.value());
+
+          const Matrix x_star = solve_matching(t_pred, a_pred);
+          epoch_loss += surrogate_regret(*true_objective, x_star, x_true);
+          ++loss_terms;
+
+          Rng sample_rng = rng.split();
+          diff::RowGradients grads;
+          if (config.fg_discrete_loss) {
+            const double base = deployed_loss(t_pred, a_pred);
+            grads = diff::estimate_scalar_row_gradients(
+                deployed_loss, t_pred, a_pred, base, i,
+                config.forward_gradient, sample_rng, pool);
+          } else {
+            const Matrix upstream =
+                surrogate_upstream_gradient(*true_objective, x_star);
+            grads = diff::estimate_row_gradients(
+                solve_matching, t_pred, a_pred, x_star, i, upstream,
+                config.forward_gradient, sample_rng, pool);
+          }
+
+          Matrix seed_t(n, 1);
+          Matrix seed_a(n, 1);
+          for (std::size_t j = 0; j < n; ++j) {
+            seed_t(j, 0) = grads.dt[j];
+            seed_a(j, 0) = grads.da[j];
+          }
+          backward_cluster(config, round, i, t_hat, a_hat,
+                           std::move(seed_t), std::move(seed_a),
+                           batch_scale);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      time_opts[i]->step();
+      rel_opts[i]->step();
+    }
+    result.loss_history.push_back(epoch_loss /
+                                  static_cast<double>(loss_terms));
+  }
+
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace mfcp::core

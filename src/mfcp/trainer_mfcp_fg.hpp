@@ -1,0 +1,27 @@
+// MFCP with Forward Gradient (MFCP-FG, paper Algorithm 2).
+//
+// Same training loop as MFCP-AD, but the gradient of the optimal matching
+// with respect to the predictions is estimated by zeroth-order Gaussian
+// perturbation (diff/zeroth_order.hpp) instead of KKT differentiation —
+// which is what makes the method applicable to the non-convex
+// parallel-execution objective (Eq. 16/17) and to the Table-1 ablation
+// objectives whose analytic sensitivities degenerate.
+#pragma once
+
+#include "mfcp/mfcp_config.hpp"
+#include "mfcp/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/dataset.hpp"
+
+namespace mfcp::core {
+
+/// Decision-focused fine-tuning with zeroth-order matching gradients.
+/// Supports every CostModel/ConstraintModel combination and arbitrary
+/// speedup curves. When `pool` is non-null, the 2·S perturbed matching
+/// solves per (epoch, cluster) run in parallel.
+MfcpTrainResult train_mfcp_fg(PlatformPredictor& predictor,
+                              const sim::Dataset& train,
+                              const MfcpConfig& config,
+                              ThreadPool* pool = nullptr);
+
+}  // namespace mfcp::core

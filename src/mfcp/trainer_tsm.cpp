@@ -1,0 +1,96 @@
+#include "mfcp/trainer_tsm.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mfcp::core {
+
+TsmTrainResult train_tsm(PlatformPredictor& predictor,
+                         const sim::Dataset& train, const TsmConfig& config) {
+  MFCP_CHECK(train.num_clusters() == predictor.num_clusters(),
+             "dataset and predictor disagree on cluster count");
+  MFCP_CHECK(config.epochs > 0, "need at least one epoch");
+  const std::size_t n = train.num_tasks();
+  MFCP_CHECK(n > 0, "empty training set");
+
+  Stopwatch watch;
+  TsmTrainResult result;
+  Rng rng(config.seed);
+
+  const std::size_t m = predictor.num_clusters();
+  std::vector<std::unique_ptr<nn::Adam>> time_opts;
+  std::vector<std::unique_ptr<nn::Adam>> rel_opts;
+  for (std::size_t i = 0; i < m; ++i) {
+    time_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).time_model().parameters(),
+        config.learning_rate));
+    rel_opts.push_back(std::make_unique<nn::Adam>(
+        predictor.cluster(i).reliability_model().parameters(),
+        config.learning_rate));
+  }
+
+  const bool full_batch = n <= config.batch_size;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Build this epoch's batch (same batch for every cluster, fair).
+    std::vector<std::size_t> batch_idx;
+    if (full_batch) {
+      batch_idx.resize(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        batch_idx[j] = j;
+      }
+    } else {
+      const auto order = rng.permutation(n);
+      batch_idx.assign(order.begin(), order.begin() + config.batch_size);
+    }
+    const std::size_t b = batch_idx.size();
+    Matrix features(b, train.feature_dim());
+    for (std::size_t k = 0; k < b; ++k) {
+      for (std::size_t c = 0; c < train.feature_dim(); ++c) {
+        features(k, c) = train.features(batch_idx[k], c);
+      }
+    }
+
+    double epoch_time_loss = 0.0;
+    double epoch_rel_loss = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      Matrix t_target(b, 1);
+      Matrix a_target(b, 1);
+      for (std::size_t k = 0; k < b; ++k) {
+        t_target(k, 0) = train.times(i, batch_idx[k]);
+        a_target(k, 0) = train.reliability(i, batch_idx[k]);
+      }
+
+      auto& cluster = predictor.cluster(i);
+      {
+        nn::Variable in(features, /*requires_grad=*/false);
+        auto pred = cluster.forward_time(in);
+        auto loss = nn::mse(pred, t_target);
+        epoch_time_loss += loss.value()[0];
+        time_opts[i]->zero_grad();
+        loss.backward();
+        time_opts[i]->step();
+      }
+      {
+        nn::Variable in(features, /*requires_grad=*/false);
+        auto pred = cluster.forward_reliability(in);
+        auto loss = nn::mse(pred, a_target);
+        epoch_rel_loss += loss.value()[0];
+        rel_opts[i]->zero_grad();
+        loss.backward();
+        rel_opts[i]->step();
+      }
+    }
+    result.time_loss_history.push_back(epoch_time_loss /
+                                       static_cast<double>(m));
+    result.rel_loss_history.push_back(epoch_rel_loss /
+                                      static_cast<double>(m));
+  }
+
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace mfcp::core

@@ -1,0 +1,35 @@
+// Two-Stage Method (TSM) — the predict-then-optimize baseline (paper §4.1.2,
+// after Yang et al.): every cluster's predictors are trained independently
+// by minimizing MSE (Eq. 1), and matching later consumes the predictions
+// as if they were exact.
+//
+// Also used to warm-start the MFCP trainers: decision-focused fine-tuning
+// from an MSE-pretrained predictor is the standard DFL recipe and matches
+// the paper's framing of MFCP as re-weighting an (otherwise reasonable)
+// predictor toward matching-relevant tasks.
+#pragma once
+
+#include "mfcp/predictor.hpp"
+#include "sim/dataset.hpp"
+
+namespace mfcp::core {
+
+struct TsmConfig {
+  std::size_t epochs = 400;
+  double learning_rate = 1e-2;
+  /// Full-batch training below this many samples, else mini-batches.
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 0x75317531ULL;
+};
+
+struct TsmTrainResult {
+  std::vector<double> time_loss_history;  // mean over clusters, per epoch
+  std::vector<double> rel_loss_history;
+  double seconds = 0.0;
+};
+
+/// Trains all per-cluster predictor pairs on the dataset's measured labels.
+TsmTrainResult train_tsm(PlatformPredictor& predictor,
+                         const sim::Dataset& train, const TsmConfig& config);
+
+}  // namespace mfcp::core

@@ -1,0 +1,46 @@
+#include "nn/activations.hpp"
+
+#include "autograd/ops.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::nn {
+
+Variable apply_activation(Activation act, const Variable& x) {
+  using namespace autograd;
+  switch (act) {
+    case Activation::kRelu:
+      return relu(x);
+    case Activation::kTanh:
+      return tanh_op(x);
+    case Activation::kSigmoid:
+      return sigmoid(x);
+    case Activation::kSoftplus:
+      return softplus(x);
+    case Activation::kIdentity:
+      return x;
+  }
+  MFCP_CHECK(false, "unknown activation");
+  return x;  // unreachable
+}
+
+Variable ActivationLayer::forward(const Variable& x) {
+  return apply_activation(act_, x);
+}
+
+std::string ActivationLayer::name() const {
+  switch (act_) {
+    case Activation::kRelu:
+      return "ReLU";
+    case Activation::kTanh:
+      return "Tanh";
+    case Activation::kSigmoid:
+      return "Sigmoid";
+    case Activation::kSoftplus:
+      return "Softplus";
+    case Activation::kIdentity:
+      return "Identity";
+  }
+  return "Unknown";
+}
+
+}  // namespace mfcp::nn

@@ -1,0 +1,28 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mfcp::nn {
+
+enum class Activation { kRelu, kTanh, kSigmoid, kSoftplus, kIdentity };
+
+/// Applies the chosen element-wise nonlinearity to a Variable.
+Variable apply_activation(Activation act, const Variable& x);
+
+/// Layer adapter around apply_activation.
+class ActivationLayer final : public Layer {
+ public:
+  explicit ActivationLayer(Activation act) : act_(act) {}
+
+  Variable forward(const Variable& x) override;
+  std::vector<Variable> parameters() override { return {}; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Activation kind() const noexcept { return act_; }
+
+ private:
+  Activation act_;
+};
+
+}  // namespace mfcp::nn

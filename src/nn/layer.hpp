@@ -1,0 +1,31 @@
+// Layer interface for the predictor networks.
+//
+// Parameters are persistent autograd leaves: forward() re-links them into a
+// fresh graph each call, backward() accumulates into their grads, and the
+// optimizer updates their values in place.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace mfcp::nn {
+
+using autograd::Variable;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Maps a (batch x in) activation to (batch x out).
+  virtual Variable forward(const Variable& x) = 0;
+
+  /// Trainable parameter handles (shared with the layer's state).
+  virtual std::vector<Variable> parameters() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mfcp::nn

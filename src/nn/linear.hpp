@@ -1,0 +1,34 @@
+// Fully connected layer y = x W^T + b.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "support/rng.hpp"
+
+namespace mfcp::nn {
+
+class Linear final : public Layer {
+ public:
+  /// He-normal weights, zero bias.
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  /// Explicit parameters (weight: out x in, bias: 1 x out).
+  Linear(Matrix weight, Matrix bias);
+
+  Variable forward(const Variable& x) override;
+  std::vector<Variable> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+  [[nodiscard]] Variable& weight() noexcept { return weight_; }
+  [[nodiscard]] Variable& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Variable weight_;
+  Variable bias_;
+};
+
+}  // namespace mfcp::nn

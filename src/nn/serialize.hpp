@@ -1,0 +1,25 @@
+// Model checkpointing: plain-text parameter dump/restore.
+//
+// Format (line oriented, locale independent):
+//   mfcp-mlp 1
+//   <layer count>
+//   rows cols\n<row-major values ...>   (weight, then bias, per Linear)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace mfcp::nn {
+
+/// Writes all Linear parameters of `model` to the stream.
+void save_mlp(const std::string& path, Mlp& model);
+void save_mlp(std::ostream& os, Mlp& model);
+
+/// Restores parameters into an Mlp with an identical architecture.
+/// Throws on shape or format mismatch.
+void load_mlp(const std::string& path, Mlp& model);
+void load_mlp(std::istream& is, Mlp& model);
+
+}  // namespace mfcp::nn

@@ -1,0 +1,25 @@
+#include "parallel/parallel_for.hpp"
+
+namespace mfcp {
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_range(
+    std::size_t n, std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  if (n == 0) {
+    return blocks;
+  }
+  parts = std::max<std::size_t>(1, std::min(parts, n));
+  blocks.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    blocks.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  MFCP_DCHECK(begin == n, "partition must cover the range exactly");
+  return blocks;
+}
+
+}  // namespace mfcp

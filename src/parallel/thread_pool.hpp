@@ -1,0 +1,66 @@
+// Fixed-size worker pool used by the zeroth-order gradient estimator
+// (S independent matching solves per step, Algorithm 2) and the experiment
+// harnesses (independent replications).
+//
+// Design notes (HPC guide idioms):
+//  - explicit parallelism: callers submit tasks or use parallel_for; nothing
+//    spawns threads implicitly behind library calls;
+//  - exceptions from tasks propagate to the waiting caller via futures;
+//  - the pool is an RAII type: destruction joins all workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfcp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` selects
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers after draining queued tasks.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future rethrows any exception the task threw.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Shared process-wide pool (lazily constructed, hardware concurrency).
+  /// Intended for library internals that need "a" pool without plumbing one
+  /// through every call; experiment code constructs its own pools.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mfcp

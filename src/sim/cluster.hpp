@@ -1,0 +1,96 @@
+// Heterogeneous cluster model.
+//
+// Each third-party cluster has a hidden ground-truth law mapping a task to
+// (execution time, reliability). Heterogeneity has three axes, mirroring the
+// paper's motivation (Fig. 2 shows one cluster linear in workload and one
+// exponential, so that independently-MSE-trained predictors order clusters
+// wrongly):
+//   1. scaling law shape (linear / super-linear "exponential" / saturating),
+//   2. per-family architecture affinity (e.g. tensor-core boxes favour
+//      transformers),
+//   3. reliability law (base stability degraded by memory pressure and
+//      communication intensity — third-party clusters fail more on big,
+//      chatty jobs).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+
+namespace mfcp::sim {
+
+enum class PerfLaw : int {
+  kLinear = 0,       // t ~ w
+  kExponential = 1,  // t ~ (e^{k w} - 1)/k : super-linear growth
+  kSaturating = 2,   // t ~ w / (1 + k w) * (1 + k w_ref): concave
+};
+
+std::string to_string(PerfLaw law);
+
+struct ClusterProfile {
+  std::string name = "cluster";
+  PerfLaw law = PerfLaw::kLinear;
+  double law_param = 0.05;  // curvature of the non-linear laws
+  double base_seconds_per_unit = 1.0;  // hardware speed (lower = faster)
+  std::array<double, kNumTaskFamilies> family_affinity = {1.0, 1.0, 1.0, 1.0};
+  /// Usable accelerator/host memory. Jobs whose footprint exceeds it hit
+  /// a thrashing cliff: execution time multiplies by up to
+  /// (1 + thrash_penalty). The cliff is what makes cluster choice *costly*
+  /// to mispredict — a small MLP on sparse profiling data systematically
+  /// misses sharp thresholds (the Fig. 2 failure mode).
+  double memory_capacity_gb = 8.0;
+  double thrash_penalty = 3.0;
+  /// Logistic width of the cliff in GB (smaller = sharper).
+  double thrash_width_gb = 0.25;
+  double reliability_base = 2.0;      // logit of success prob for tiny jobs
+  double memory_fragility = 0.05;     // logit penalty per GB
+  double comm_fragility = 1.0;        // logit penalty per unit comm intensity
+  double time_noise_sigma = 0.15;     // lognormal measurement noise
+  double reliability_noise_sigma = 0.04;  // additive label noise
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterProfile profile);
+
+  [[nodiscard]] const ClusterProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return profile_.name;
+  }
+
+  /// Ground-truth expected execution time (hours) of the task.
+  [[nodiscard]] double execution_time(const TaskDescriptor& task) const;
+
+  /// Ground-truth success probability in (0, 1).
+  [[nodiscard]] double reliability(const TaskDescriptor& task) const;
+
+  /// One noisy runtime measurement (what profiling a real cluster yields).
+  [[nodiscard]] double measure_time(const TaskDescriptor& task,
+                                    Rng& rng) const;
+
+  /// Noisy reliability label (empirical success estimate), clamped to
+  /// (0.01, 0.999).
+  [[nodiscard]] double measure_reliability(const TaskDescriptor& task,
+                                           Rng& rng) const;
+
+  /// Simulates one run: true = completed, false = failed.
+  [[nodiscard]] bool run_once(const TaskDescriptor& task, Rng& rng) const;
+
+ private:
+  ClusterProfile profile_;
+};
+
+/// Catalog of heterogeneous cluster archetypes (the "pool" from which the
+/// paper's settings A/B/C randomly select clusters).
+std::vector<ClusterProfile> cluster_catalog();
+
+/// Draws M cluster profiles from the catalog with perturbed parameters.
+/// Distinct seeds reproduce the paper's settings A/B/C.
+std::vector<Cluster> sample_clusters(std::size_t m, Rng& rng);
+
+}  // namespace mfcp::sim

@@ -1,0 +1,84 @@
+#include "sim/embedding.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::sim {
+
+namespace {
+constexpr std::size_t kRawDim =
+    kNumTaskFamilies + kNumDatasets + 6;  // one-hots + numeric fields
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, double scale,
+                     Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng.normal(0.0, scale);
+  }
+  return m;
+}
+}  // namespace
+
+PseudoGnnEmbedder::PseudoGnnEmbedder(EmbedderConfig config)
+    : config_(config) {
+  MFCP_CHECK(config_.output_dim > 0, "embedding dim must be positive");
+  Rng rng(config_.seed);
+  const double in_scale = 1.0 / std::sqrt(static_cast<double>(kRawDim));
+  input_proj_ = random_matrix(config_.output_dim, kRawDim, in_scale, rng);
+  const double mix_scale =
+      1.0 / std::sqrt(static_cast<double>(config_.output_dim));
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    weights_.push_back(random_matrix(config_.output_dim, config_.output_dim,
+                                     mix_scale, rng));
+    biases_.push_back(random_matrix(config_.output_dim, 1, 0.1, rng));
+  }
+}
+
+std::vector<double> PseudoGnnEmbedder::raw_features(
+    const TaskDescriptor& task) {
+  std::vector<double> f(kRawDim, 0.0);
+  f[static_cast<std::size_t>(task.family)] = 1.0;
+  f[kNumTaskFamilies + static_cast<std::size_t>(task.dataset)] = 1.0;
+  std::size_t k = kNumTaskFamilies + kNumDatasets;
+  f[k++] = std::log1p(static_cast<double>(task.depth));
+  f[k++] = std::log1p(static_cast<double>(task.width)) / 4.0;
+  f[k++] = std::log1p(static_cast<double>(task.batch_size)) / 4.0;
+  f[k++] = task.dataset_fraction;
+  f[k++] = std::log1p(task.workload()) / 4.0;
+  f[k++] = std::log1p(task.memory_gb());
+  return f;
+}
+
+std::vector<double> PseudoGnnEmbedder::embed(
+    const TaskDescriptor& task) const {
+  const auto raw = raw_features(task);
+  Matrix h = matvec(input_proj_, Matrix::column(raw));
+  // "Message passing": residual tanh mixing rounds with fixed weights.
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    Matrix mixed = matvec(weights_[r], h);
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+      h[i] = h[i] + std::tanh(mixed[i] + biases_[r][i]);
+    }
+  }
+  std::vector<double> out(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out[i] = h[i];
+  }
+  return out;
+}
+
+Matrix PseudoGnnEmbedder::embed_batch(
+    const std::vector<TaskDescriptor>& tasks) const {
+  Matrix features(tasks.size(), config_.output_dim);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto z = embed(tasks[i]);
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      features(i, j) = z[j];
+    }
+  }
+  return features;
+}
+
+}  // namespace mfcp::sim

@@ -1,0 +1,52 @@
+// Pseudo-GNN task embedding.
+//
+// The paper embeds computational graphs with a GNN and trains predictors on
+// the resulting features ("we omit the distinction between tasks and
+// features"). We substitute a *fixed* (untrained) message-passing-style
+// encoder: a raw descriptor vector passes through L rounds of random-weight
+// tanh mixing. Properties preserved: the map is deterministic, nonlinear,
+// information-preserving in practice, and hides the ground-truth performance
+// laws from the predictors — they see only z, exactly as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/task.hpp"
+
+namespace mfcp::sim {
+
+struct EmbedderConfig {
+  std::size_t output_dim = 12;
+  std::size_t rounds = 2;       // message-passing rounds
+  std::uint64_t seed = 0xe1bedULL;
+};
+
+class PseudoGnnEmbedder {
+ public:
+  explicit PseudoGnnEmbedder(EmbedderConfig config = {});
+
+  /// Raw (pre-mixing) descriptor features: one-hot family and dataset plus
+  /// log-scaled numeric fields.
+  [[nodiscard]] static std::vector<double> raw_features(
+      const TaskDescriptor& task);
+
+  /// Embeds one task into a feature vector of output_dim entries.
+  [[nodiscard]] std::vector<double> embed(const TaskDescriptor& task) const;
+
+  /// Embeds a batch into an (n x output_dim) feature matrix (rows = tasks).
+  [[nodiscard]] Matrix embed_batch(
+      const std::vector<TaskDescriptor>& tasks) const;
+
+  [[nodiscard]] std::size_t output_dim() const noexcept {
+    return config_.output_dim;
+  }
+
+ private:
+  EmbedderConfig config_;
+  std::vector<Matrix> weights_;  // one mixing matrix per round
+  std::vector<Matrix> biases_;
+  Matrix input_proj_;            // raw dim -> output_dim
+};
+
+}  // namespace mfcp::sim

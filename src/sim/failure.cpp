@@ -1,0 +1,68 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mfcp::sim {
+
+ExecutionOutcome execute_assignment(const Platform& platform,
+                                    const std::vector<TaskDescriptor>& tasks,
+                                    const std::vector<int>& assignment,
+                                    Rng& rng, int max_attempts) {
+  MFCP_CHECK(assignment.size() == tasks.size(),
+             "assignment length must match task count");
+  MFCP_CHECK(max_attempts >= 1, "need at least one attempt");
+
+  ExecutionOutcome out;
+  out.assigned_cluster = assignment;
+  out.succeeded.resize(tasks.size());
+  out.attempts.resize(tasks.size());
+
+  std::vector<double> busy(platform.num_clusters(), 0.0);
+  std::size_t successes = 0;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const int ci = assignment[j];
+    MFCP_CHECK(ci >= 0 &&
+                   static_cast<std::size_t>(ci) < platform.num_clusters(),
+               "assignment references unknown cluster");
+    const Cluster& cluster = platform.cluster(static_cast<std::size_t>(ci));
+    busy[static_cast<std::size_t>(ci)] += cluster.execution_time(tasks[j]);
+
+    int attempts = 0;
+    bool ok = false;
+    while (attempts < max_attempts && !ok) {
+      ++attempts;
+      ok = cluster.run_once(tasks[j], rng);
+      if (!ok && attempts < max_attempts) {
+        // A retry re-occupies the cluster for another full run.
+        busy[static_cast<std::size_t>(ci)] +=
+            cluster.execution_time(tasks[j]);
+      }
+    }
+    out.attempts[j] = attempts;
+    out.succeeded[j] = attempts == 1 && ok;
+    if (out.succeeded[j]) {
+      ++successes;
+    }
+  }
+  out.makespan_hours = *std::max_element(busy.begin(), busy.end());
+  out.empirical_success_rate =
+      static_cast<double>(successes) / static_cast<double>(tasks.size());
+  return out;
+}
+
+double empirical_reliability(const Cluster& cluster,
+                             const TaskDescriptor& task, Rng& rng,
+                             std::size_t runs) {
+  MFCP_CHECK(runs > 0, "need at least one run");
+  std::size_t ok = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    if (cluster.run_once(task, rng)) {
+      ++ok;
+    }
+  }
+  return static_cast<double>(ok) / static_cast<double>(runs);
+}
+
+}  // namespace mfcp::sim

@@ -1,0 +1,38 @@
+// Failure injection: Monte-Carlo execution of a matching on the platform.
+//
+// Reliability labels in the dataset are probabilities; this module samples
+// actual success/failure outcomes so integration tests and examples can
+// observe the platform end-to-end (tasks retried, empirical success rates
+// converging to the reliability matrix).
+#pragma once
+
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace mfcp::sim {
+
+struct ExecutionOutcome {
+  std::vector<int> assigned_cluster;  // per task
+  std::vector<bool> succeeded;        // per task, first attempt
+  std::vector<int> attempts;          // attempts until success (capped)
+  double makespan_hours = 0.0;        // max cluster busy time, first attempts
+  double empirical_success_rate = 0.0;
+};
+
+/// Executes tasks under an assignment (task j -> cluster assignment[j]),
+/// sampling per-task success from the ground-truth reliability. Failed
+/// tasks are retried up to `max_attempts` (each retry re-occupies the
+/// cluster). Returns per-task outcomes and aggregate statistics.
+ExecutionOutcome execute_assignment(const Platform& platform,
+                                    const std::vector<TaskDescriptor>& tasks,
+                                    const std::vector<int>& assignment,
+                                    Rng& rng, int max_attempts = 3);
+
+/// Empirical reliability estimate for one task on one cluster from `runs`
+/// Monte-Carlo executions (converges to Cluster::reliability).
+double empirical_reliability(const Cluster& cluster,
+                             const TaskDescriptor& task, Rng& rng,
+                             std::size_t runs);
+
+}  // namespace mfcp::sim

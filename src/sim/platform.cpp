@@ -1,0 +1,78 @@
+#include "sim/platform.hpp"
+
+#include "support/check.hpp"
+
+namespace mfcp::sim {
+
+std::string to_string(Setting s) {
+  switch (s) {
+    case Setting::kA:
+      return "A";
+    case Setting::kB:
+      return "B";
+    case Setting::kC:
+      return "C";
+  }
+  return "?";
+}
+
+Platform::Platform(std::vector<Cluster> clusters)
+    : clusters_(std::move(clusters)) {
+  MFCP_CHECK(!clusters_.empty(), "platform needs at least one cluster");
+}
+
+Platform Platform::make_setting(Setting setting, std::size_t num_clusters) {
+  // Each setting fixes its own seed so A/B/C are distinct but reproducible.
+  Rng rng(0x5e771a60ULL + 0x9e37ULL * static_cast<std::uint64_t>(setting));
+  return Platform(sample_clusters(num_clusters, rng));
+}
+
+const Cluster& Platform::cluster(std::size_t i) const {
+  MFCP_CHECK(i < clusters_.size(), "cluster index out of range");
+  return clusters_[i];
+}
+
+Matrix Platform::true_times(const std::vector<TaskDescriptor>& tasks) const {
+  Matrix t(clusters_.size(), tasks.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      t(i, j) = clusters_[i].execution_time(tasks[j]);
+    }
+  }
+  return t;
+}
+
+Matrix Platform::true_reliability(
+    const std::vector<TaskDescriptor>& tasks) const {
+  Matrix a(clusters_.size(), tasks.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      a(i, j) = clusters_[i].reliability(tasks[j]);
+    }
+  }
+  return a;
+}
+
+Matrix Platform::measure_times(const std::vector<TaskDescriptor>& tasks,
+                               Rng& rng) const {
+  Matrix t(clusters_.size(), tasks.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      t(i, j) = clusters_[i].measure_time(tasks[j], rng);
+    }
+  }
+  return t;
+}
+
+Matrix Platform::measure_reliability(const std::vector<TaskDescriptor>& tasks,
+                                     Rng& rng) const {
+  Matrix a(clusters_.size(), tasks.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      a(i, j) = clusters_[i].measure_reliability(tasks[j], rng);
+    }
+  }
+  return a;
+}
+
+}  // namespace mfcp::sim

@@ -1,0 +1,56 @@
+// The computing resource exchange platform: M managed clusters plus the
+// machinery to evaluate a batch of N tasks on all of them — producing the
+// T (execution time) and A (reliability) matrices of paper §2.1.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/cluster.hpp"
+#include "sim/embedding.hpp"
+#include "sim/task.hpp"
+
+namespace mfcp::sim {
+
+/// Named cluster environments matching the paper's experiment settings.
+enum class Setting : int { kA = 0, kB = 1, kC = 2 };
+std::string to_string(Setting s);
+
+class Platform {
+ public:
+  explicit Platform(std::vector<Cluster> clusters);
+
+  /// Builds the platform for one of the paper's settings A/B/C: each
+  /// setting randomly selects M heterogeneous clusters under its own seed.
+  static Platform make_setting(Setting setting, std::size_t num_clusters);
+
+  [[nodiscard]] std::size_t num_clusters() const noexcept {
+    return clusters_.size();
+  }
+  [[nodiscard]] const Cluster& cluster(std::size_t i) const;
+  [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {
+    return clusters_;
+  }
+
+  /// Ground-truth execution time matrix T (M x N): T(i, j) = time of task j
+  /// on cluster i.
+  [[nodiscard]] Matrix true_times(
+      const std::vector<TaskDescriptor>& tasks) const;
+
+  /// Ground-truth reliability matrix A (M x N).
+  [[nodiscard]] Matrix true_reliability(
+      const std::vector<TaskDescriptor>& tasks) const;
+
+  /// Noisy profiling measurements of T (what training labels look like).
+  [[nodiscard]] Matrix measure_times(const std::vector<TaskDescriptor>& tasks,
+                                     Rng& rng) const;
+
+  /// Noisy reliability labels.
+  [[nodiscard]] Matrix measure_reliability(
+      const std::vector<TaskDescriptor>& tasks, Rng& rng) const;
+
+ private:
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace mfcp::sim

@@ -1,0 +1,43 @@
+#include "sim/speedup.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mfcp::sim {
+
+SpeedupCurve SpeedupCurve::exclusive() {
+  return SpeedupCurve(/*constant=*/true, 1.0, 0.0);
+}
+
+SpeedupCurve SpeedupCurve::exponential_decay(double floor, double rate) {
+  MFCP_CHECK(floor > 0.0 && floor <= 1.0, "speedup floor must be in (0,1]");
+  MFCP_CHECK(rate > 0.0, "decay rate must be positive");
+  return SpeedupCurve(/*constant=*/false, floor, rate);
+}
+
+double SpeedupCurve::value(double n) const noexcept {
+  if (constant_ || n <= 1.0) {
+    return 1.0;
+  }
+  return floor_ + (1.0 - floor_) * std::exp(-rate_ * (n - 1.0));
+}
+
+double SpeedupCurve::derivative(double n) const noexcept {
+  if (constant_ || n <= 1.0) {
+    return 0.0;
+  }
+  return -rate_ * (1.0 - floor_) * std::exp(-rate_ * (n - 1.0));
+}
+
+std::string SpeedupCurve::describe() const {
+  if (constant_) {
+    return "exclusive (zeta = 1)";
+  }
+  std::ostringstream os;
+  os << "exponential decay 1 -> " << floor_ << " (rate " << rate_ << ")";
+  return os.str();
+}
+
+}  // namespace mfcp::sim

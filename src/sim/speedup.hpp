@@ -1,0 +1,44 @@
+// Parallel-execution speedup curves ζ (paper §3.4).
+//
+// ζ(n) maps the (possibly fractional, during relaxation) number of tasks on
+// a cluster to the ratio of actual total execution time to the sum of task
+// times. The paper's Table-2 evaluation uses "an exponential decay curve
+// from 1 to 0.6" — diminishing returns of batching more jobs into a shared
+// scheduler. We also provide the derivative dζ/dn because the smoothed
+// objective (Eq. 17) differentiates through ζ(x_i^T 1).
+#pragma once
+
+#include <string>
+
+namespace mfcp::sim {
+
+class SpeedupCurve {
+ public:
+  /// Constant ζ = 1: exclusive sequential execution (paper §2.1 default).
+  static SpeedupCurve exclusive();
+
+  /// Exponential decay from 1 at n=1 to `floor` as n -> inf:
+  ///   ζ(n) = floor + (1 - floor) * exp(-rate * (n - 1))   for n >= 1,
+  /// and ζ(n) = 1 for n < 1 (an underloaded cluster runs its single task
+  /// with no sharing effects). Paper Table 2 uses floor = 0.6.
+  static SpeedupCurve exponential_decay(double floor, double rate);
+
+  [[nodiscard]] double value(double n) const noexcept;
+  [[nodiscard]] double derivative(double n) const noexcept;
+
+  /// True for the exclusive (ζ ≡ 1) curve, which keeps the matching
+  /// objective convex; decaying curves make it non-convex (paper §3.4).
+  [[nodiscard]] bool is_constant() const noexcept { return constant_; }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  SpeedupCurve(bool constant, double floor, double rate)
+      : constant_(constant), floor_(floor), rate_(rate) {}
+
+  bool constant_;
+  double floor_;
+  double rate_;
+};
+
+}  // namespace mfcp::sim

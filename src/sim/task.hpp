@@ -1,0 +1,69 @@
+// Deep-learning task model for the synthetic computing-resource-exchange
+// platform.
+//
+// The paper's dataset is proprietary (Xirang platform runs of CV/NLP models
+// over CIFAR-10 / ImageNet / Europarl). We reproduce its *structure*: tasks
+// are training jobs drawn from model families with hyper-parameters that
+// determine a workload (FLOPs, parameters, memory) which in turn drives
+// cluster-specific execution time and reliability (see cluster.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mfcp::sim {
+
+enum class TaskFamily : int { kCnn = 0, kTransformer = 1, kRnn = 2, kMlp = 3 };
+inline constexpr int kNumTaskFamilies = 4;
+
+enum class DatasetKind : int {
+  kCifar10 = 0,
+  kImageNet = 1,
+  kEuroparl = 2,
+};
+inline constexpr int kNumDatasets = 3;
+
+std::string to_string(TaskFamily family);
+std::string to_string(DatasetKind dataset);
+
+/// One deep-learning training job as submitted to the platform.
+struct TaskDescriptor {
+  TaskFamily family = TaskFamily::kCnn;
+  DatasetKind dataset = DatasetKind::kCifar10;
+  int depth = 8;              // number of blocks/layers
+  int width = 128;            // channels / hidden size
+  int batch_size = 64;
+  double dataset_fraction = 1.0;  // fraction of the dataset per epoch
+
+  /// Model parameters in millions (derived from family/depth/width).
+  [[nodiscard]] double params_millions() const;
+
+  /// Compute per epoch in normalized GFLOP units (drives execution time).
+  [[nodiscard]] double workload() const;
+
+  /// Peak memory footprint in GB (drives reliability: bigger jobs fail
+  /// more often on flaky third-party clusters).
+  [[nodiscard]] double memory_gb() const;
+
+  /// Communication intensity in [0,1]: how much the job stresses the
+  /// interconnect (transformers/RNNs higher) — a second reliability factor.
+  [[nodiscard]] double comm_intensity() const;
+};
+
+/// Samples plausible task descriptors. Family/dataset pairings mirror the
+/// paper (CV models on CIFAR-10/ImageNet, NLP models on Europarl).
+class TaskGenerator {
+ public:
+  explicit TaskGenerator(Rng rng) : rng_(rng) {}
+
+  TaskDescriptor sample();
+  std::vector<TaskDescriptor> sample_batch(std::size_t n);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace mfcp::sim

@@ -1,0 +1,31 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace mfcp {
+
+namespace {
+std::string format_message(std::string_view expr, std::string_view msg,
+                           const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": contract violated: (" << expr << ")";
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+}  // namespace
+
+ContractError::ContractError(std::string_view expr, std::string_view msg,
+                             std::source_location loc)
+    : std::logic_error(format_message(expr, msg, loc)), expr_(expr) {}
+
+namespace detail {
+void contract_failure(std::string_view expr, std::string_view msg,
+                      std::source_location loc) {
+  throw ContractError(expr, msg, loc);
+}
+}  // namespace detail
+
+}  // namespace mfcp

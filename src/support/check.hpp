@@ -1,0 +1,54 @@
+// Runtime contract checking for the MFCP library.
+//
+// The library validates public-API preconditions with MFCP_CHECK (always on)
+// and internal invariants with MFCP_DCHECK (compiled out in NDEBUG builds).
+// Violations throw mfcp::ContractError carrying the failed expression and
+// source location, so tests can assert on misuse and callers never see UB.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mfcp {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  ContractError(std::string_view expr, std::string_view msg,
+                std::source_location loc);
+
+  /// The stringized expression that evaluated to false.
+  [[nodiscard]] const std::string& expression() const noexcept {
+    return expr_;
+  }
+
+ private:
+  std::string expr_;
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(std::string_view expr, std::string_view msg,
+                                   std::source_location loc);
+}  // namespace detail
+
+}  // namespace mfcp
+
+/// Always-on precondition check. `msg` may use std::string concatenation.
+#define MFCP_CHECK(expr, msg)                                      \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::mfcp::detail::contract_failure(#expr, (msg),               \
+                                       std::source_location::current()); \
+    }                                                              \
+  } while (false)
+
+/// Debug-only invariant check, compiled out under NDEBUG.
+#ifdef NDEBUG
+#define MFCP_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define MFCP_DCHECK(expr, msg) MFCP_CHECK(expr, msg)
+#endif

@@ -1,0 +1,46 @@
+// Minimal leveled logging for long-running experiment harnesses.
+//
+// Deliberately tiny: a process-wide level, timestamped lines to stderr,
+// and zero cost below the active level. Libraries log sparingly (solver
+// non-convergence, B&B budget exhaustion); harnesses log progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mfcp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (default kWarn: libraries stay quiet).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one timestamped line to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mfcp
+
+/// Streamed logging: MFCP_LOG(kWarn) << "solver hit iteration cap".
+#define MFCP_LOG(level) \
+  ::mfcp::detail::LogLine(::mfcp::LogLevel::level)

@@ -1,0 +1,10 @@
+#include "support/stopwatch.hpp"
+
+namespace mfcp {
+
+double Stopwatch::seconds() const noexcept {
+  const auto elapsed = Clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace mfcp

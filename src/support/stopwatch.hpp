@@ -1,0 +1,26 @@
+// Wall-clock timing for benchmarks and experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace mfcp {
+
+/// Monotonic stopwatch. Started on construction; restart with reset().
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept;
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mfcp

@@ -1,0 +1,107 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mfcp {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MFCP_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MFCP_CHECK(row.size() == header_.size(),
+             "row width does not match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < header_.size()) {
+      os << "  ";
+    }
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) {
+        os << ',';
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  MFCP_CHECK(f.good(), "cannot open CSV output file: " + path);
+  f << to_csv();
+}
+
+std::string Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace mfcp

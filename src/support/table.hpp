@@ -1,0 +1,46 @@
+// Plain-text table rendering and CSV export for the experiment harnesses.
+//
+// Every bench binary prints its results as an aligned table that mirrors the
+// corresponding table/figure of the paper, and optionally dumps the same
+// rows to CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfcp {
+
+/// Column-aligned text table. Cells are strings; numeric callers format via
+/// Table::cell helpers or format_mean_std().
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders the table with a header rule, e.g.
+  ///   Method   Regret          Reliability
+  ///   -------  --------------  -------------
+  ///   TSM      2.014 ± 0.035   0.832 ± 0.003
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated rendering (header + rows). Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to_csv() to `path`, replacing any existing file.
+  void write_csv(const std::string& path) const;
+
+  /// Formats a double with fixed precision (helper for row building).
+  static std::string cell(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mfcp

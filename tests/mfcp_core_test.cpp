@@ -1,0 +1,329 @@
+// Tests for the core MFCP module: predictors, regret evaluation, metrics,
+// TAM/UCB baselines, and the TSM trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mfcp/baseline_tam.hpp"
+#include "mfcp/baseline_ucb.hpp"
+#include "mfcp/experiment.hpp"
+#include "mfcp/metrics.hpp"
+#include "mfcp/predictor.hpp"
+#include "mfcp/regret.hpp"
+#include "mfcp/trainer_tsm.hpp"
+#include "nn/loss.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::core {
+namespace {
+
+sim::Dataset tiny_dataset(std::size_t tasks = 40, std::size_t clusters = 3) {
+  const auto platform =
+      sim::Platform::make_setting(sim::Setting::kA, clusters);
+  sim::PseudoGnnEmbedder embedder;
+  sim::DatasetConfig cfg;
+  cfg.num_tasks = tasks;
+  return build_dataset(platform, embedder, cfg);
+}
+
+// ------------------------------------------------------------- predictor --
+
+TEST(Predictor, TimeHeadIsPositive) {
+  Rng rng(1);
+  PredictorConfig cfg;
+  ClusterPredictor pred(cfg, rng);
+  Matrix features(6, cfg.feature_dim, 0.3);
+  const Matrix row = pred.predict_time_row(features);
+  ASSERT_EQ(row.rows(), 1u);
+  ASSERT_EQ(row.cols(), 6u);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_GT(row[j], 0.0);
+  }
+}
+
+TEST(Predictor, ReliabilityHeadInUnitInterval) {
+  Rng rng(2);
+  PredictorConfig cfg;
+  ClusterPredictor pred(cfg, rng);
+  Matrix features(6, cfg.feature_dim, -0.7);
+  const Matrix row = pred.predict_reliability_row(features);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_GT(row[j], 0.0);
+    EXPECT_LT(row[j], 1.0);
+  }
+}
+
+TEST(Predictor, PlatformPredictorBuildsMatrices) {
+  Rng rng(3);
+  PredictorConfig cfg;
+  PlatformPredictor pred(4, cfg, rng);
+  EXPECT_EQ(pred.num_clusters(), 4u);
+  Matrix features(5, cfg.feature_dim, 0.1);
+  const Matrix t = pred.predict_time_matrix(features);
+  const Matrix a = pred.predict_reliability_matrix(features);
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(a.rows(), 4u);
+  EXPECT_EQ(a.cols(), 5u);
+}
+
+TEST(Predictor, ClustersAreIndependentlyInitialized) {
+  Rng rng(4);
+  PredictorConfig cfg;
+  PlatformPredictor pred(2, cfg, rng);
+  Matrix features(3, cfg.feature_dim, 0.5);
+  const Matrix t = pred.predict_time_matrix(features);
+  EXPECT_NE(t(0, 0), t(1, 0));
+}
+
+TEST(Predictor, MatrixRowMatchesClusterRow) {
+  Rng rng(5);
+  PredictorConfig cfg;
+  PlatformPredictor pred(3, cfg, rng);
+  Matrix features(4, cfg.feature_dim, 0.2);
+  const Matrix t = pred.predict_time_matrix(features);
+  const Matrix row1 = pred.cluster(1).predict_time_row(features);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(t(1, j), row1[j]);
+  }
+}
+
+// ---------------------------------------------------------------- regret --
+
+TEST(Regret, PerfectPredictionsGiveNearZeroRegret) {
+  const auto data = tiny_dataset(12);
+  matching::MatchingProblem truth;
+  const auto sub = data.subset({0, 1, 2, 3, 4});
+  truth.times = sub.true_times;
+  truth.reliability = sub.true_reliability;
+  truth.gamma = 0.6;
+  EvaluationConfig cfg;
+  const auto outcome =
+      evaluate_predictions(truth, truth.times, truth.reliability, cfg);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_NEAR(outcome.regret, 0.0, 0.02);
+}
+
+TEST(Regret, RegretIsGapDividedByTaskCount) {
+  const auto data = tiny_dataset(10);
+  matching::MatchingProblem truth;
+  const auto sub = data.subset({1, 3, 5, 7});
+  truth.times = sub.true_times;
+  truth.reliability = sub.true_reliability;
+  truth.gamma = 0.5;
+  const matching::Assignment fixed = {0, 0, 0, 0};
+  const auto outcome = evaluate_assignment(truth, fixed);
+  EXPECT_NEAR(outcome.regret,
+              (outcome.makespan - outcome.optimal_makespan) / 4.0, 1e-12);
+  EXPECT_GE(outcome.makespan, outcome.optimal_makespan - 1e-12);
+}
+
+TEST(Regret, DeployRespectsPredictedReliability) {
+  // Predictions say cluster 0 is unreliable -> deploy avoids it even if
+  // cluster 0 is fast.
+  matching::MatchingProblem predicted;
+  predicted.times = Matrix{{0.1, 0.1, 0.1}, {1.0, 1.0, 1.0}};
+  predicted.reliability = Matrix{{0.3, 0.3, 0.3}, {0.95, 0.95, 0.95}};
+  predicted.gamma = 0.8;
+  EvaluationConfig cfg;
+  const auto assignment = deploy_matching(predicted, cfg);
+  for (int c : assignment) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Regret, SurrogateRegretZeroAtTrueOptimum) {
+  const auto data = tiny_dataset(8);
+  const auto sub = data.subset({0, 1, 2});
+  matching::BarrierObjective obj(sub.true_times, sub.true_reliability, 0.5,
+                                 {});
+  const auto x = matching::solve_mirror(obj).x;
+  EXPECT_NEAR(surrogate_regret(obj, x, x), 0.0, 1e-12);
+  const Matrix g = surrogate_upstream_gradient(obj, x);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 3u);
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, AccumulatesMeanAndStd) {
+  MetricsAccumulator acc;
+  MatchOutcome o;
+  o.regret = 1.0;
+  o.reliability = 0.9;
+  o.utilization = 0.5;
+  o.feasible = true;
+  acc.add(o);
+  o.regret = 3.0;
+  o.feasible = false;
+  acc.add(o);
+  EXPECT_EQ(acc.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(acc.regret().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.feasible_fraction(), 0.5);
+  EXPECT_NE(acc.summary().find("regret"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- TAM --
+
+TEST(Tam, MeansMatchHandComputation) {
+  const auto data = tiny_dataset(20);
+  const auto model = fit_tam(data);
+  ASSERT_EQ(model.mean_time.size(), 3u);
+  double expect = 0.0;
+  for (std::size_t j = 0; j < 20; ++j) {
+    expect += data.times(1, j);
+  }
+  expect /= 20.0;
+  EXPECT_NEAR(model.mean_time[1], expect, 1e-12);
+}
+
+TEST(Tam, MatricesAreRowConstant) {
+  const auto data = tiny_dataset(15);
+  const auto model = fit_tam(data);
+  const Matrix t = tam_time_matrix(model, 7);
+  const Matrix a = tam_reliability_matrix(model, 7);
+  EXPECT_EQ(t.cols(), 7u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 1; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(t(i, j), t(i, 0));
+      EXPECT_DOUBLE_EQ(a(i, j), a(i, 0));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- TSM --
+
+TEST(Tsm, ReducesTrainingLoss) {
+  const auto data = tiny_dataset(60);
+  Rng rng(6);
+  PredictorConfig pcfg;
+  PlatformPredictor pred(3, pcfg, rng);
+  TsmConfig cfg;
+  cfg.epochs = 150;
+  const auto result = train_tsm(pred, data, cfg);
+  ASSERT_EQ(result.time_loss_history.size(), 150u);
+  EXPECT_LT(result.time_loss_history.back(),
+            0.5 * result.time_loss_history.front());
+  EXPECT_LT(result.rel_loss_history.back(),
+            result.rel_loss_history.front());
+}
+
+TEST(Tsm, LearnsBetterThanUntrainedBaseline) {
+  const auto data = tiny_dataset(80);
+  Rng rng(7);
+  PredictorConfig pcfg;
+  PlatformPredictor trained(3, pcfg, rng);
+  Rng rng2(7);
+  PlatformPredictor untrained(3, pcfg, rng2);
+  TsmConfig cfg;
+  cfg.epochs = 250;
+  train_tsm(trained, data, cfg);
+  const Matrix t_trained = trained.predict_time_matrix(data.features);
+  const Matrix t_raw = untrained.predict_time_matrix(data.features);
+  EXPECT_LT(nn::mse_value(t_trained, data.times),
+            nn::mse_value(t_raw, data.times));
+}
+
+TEST(Tsm, RejectsMismatchedClusterCount) {
+  const auto data = tiny_dataset(10, 3);
+  Rng rng(8);
+  PlatformPredictor pred(2, PredictorConfig{}, rng);
+  EXPECT_THROW(train_tsm(pred, data, TsmConfig{}), ContractError);
+}
+
+// ------------------------------------------------------------------- UCB --
+
+TEST(Ucb, SigmaReflectsResidualScale) {
+  const auto data = tiny_dataset(60);
+  Rng rng(9);
+  PlatformPredictor pred(3, PredictorConfig{}, rng);
+  TsmConfig cfg;
+  cfg.epochs = 200;
+  train_tsm(pred, data, cfg);
+  const auto model = fit_ucb(pred, data, 1.0);
+  for (double s : model.sigma_time) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 5.0);
+  }
+}
+
+TEST(Ucb, AdjustedMatricesAreConservative) {
+  const auto data = tiny_dataset(40);
+  Rng rng(10);
+  PlatformPredictor pred(3, PredictorConfig{}, rng);
+  TsmConfig cfg;
+  cfg.epochs = 100;
+  train_tsm(pred, data, cfg);
+  const auto model = fit_ucb(pred, data, 2.0);
+  const Matrix t_plain = pred.predict_time_matrix(data.features);
+  const Matrix t_ucb = ucb_time_matrix(model, pred, data.features);
+  const Matrix a_plain = pred.predict_reliability_matrix(data.features);
+  const Matrix a_ucb = ucb_reliability_matrix(model, pred, data.features);
+  for (std::size_t k = 0; k < t_plain.size(); ++k) {
+    EXPECT_GE(t_ucb[k], t_plain[k]);       // pessimistic times
+    EXPECT_LE(a_ucb[k], a_plain[k] + 1e-12);  // pessimistic reliability
+    EXPECT_GE(a_ucb[k], 0.01);
+    EXPECT_LE(a_ucb[k], 0.999);
+  }
+}
+
+TEST(Ucb, KappaZeroReducesToTsm) {
+  const auto data = tiny_dataset(30);
+  Rng rng(11);
+  PlatformPredictor pred(3, PredictorConfig{}, rng);
+  const auto model = fit_ucb(pred, data, 0.0);
+  const Matrix t_plain = pred.predict_time_matrix(data.features);
+  const Matrix t_ucb = ucb_time_matrix(model, pred, data.features);
+  EXPECT_TRUE(approx_equal(t_plain, t_ucb, 1e-12));
+}
+
+// ------------------------------------------------------------ experiment --
+
+TEST(Experiment, ContextShapesAndSplit) {
+  ExperimentConfig cfg;
+  cfg.train_tasks = 30;
+  cfg.test_tasks = 10;
+  const auto ctx = make_context(cfg);
+  EXPECT_EQ(ctx.train.num_tasks(), 30u);
+  EXPECT_EQ(ctx.test.num_tasks(), 10u);
+  EXPECT_EQ(ctx.platform.num_clusters(), cfg.num_clusters);
+}
+
+TEST(Experiment, EvaluateRuleRunsRequestedRounds) {
+  ExperimentConfig cfg;
+  cfg.train_tasks = 20;
+  cfg.test_tasks = 12;
+  cfg.test_rounds = 4;
+  const auto ctx = make_context(cfg);
+  std::size_t calls = 0;
+  const auto metrics = evaluate_rule(
+      [&](const Matrix& features) {
+        ++calls;
+        // Oracle predictions: find each feature row in the test set.
+        Matrix t(cfg.num_clusters, features.rows(), 1.0);
+        Matrix a(cfg.num_clusters, features.rows(), 0.9);
+        return std::make_pair(t, a);
+      },
+      ctx, cfg);
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(metrics.rounds(), 4u);
+}
+
+TEST(Experiment, MethodNames) {
+  EXPECT_EQ(to_string(Method::kTam), "TAM");
+  EXPECT_EQ(to_string(Method::kMfcpFg), "MFCP-FG");
+}
+
+TEST(Experiment, TamMethodRunsEndToEnd) {
+  ExperimentConfig cfg;
+  cfg.train_tasks = 25;
+  cfg.test_tasks = 10;
+  cfg.test_rounds = 3;
+  const auto ctx = make_context(cfg);
+  const auto result = run_method(Method::kTam, ctx, cfg);
+  EXPECT_EQ(result.metrics.rounds(), 3u);
+  EXPECT_GE(result.metrics.regret().mean(), -1.0);
+}
+
+}  // namespace
+}  // namespace mfcp::core

@@ -1,0 +1,369 @@
+// Tests for the neural-network module: layers, MLPs, losses, optimizers,
+// initialization, and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng,
+                     double scale = 1.0) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng.normal(0.0, scale);
+  }
+  return m;
+}
+
+// ----------------------------------------------------------------- init --
+
+TEST(Init, XavierUniformWithinBound) {
+  Rng rng(1);
+  const Matrix w = xavier_uniform(20, 30, 30, 20, rng);
+  const double bound = std::sqrt(6.0 / 50.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w[i]), bound);
+  }
+}
+
+TEST(Init, HeNormalScaleRoughlyCorrect) {
+  Rng rng(2);
+  const Matrix w = he_normal(100, 100, 100, rng);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sq += w[i] * w[i];
+  }
+  const double observed = std::sqrt(sq / static_cast<double>(w.size()));
+  EXPECT_NEAR(observed, std::sqrt(2.0 / 100.0), 0.02);
+}
+
+TEST(Init, ZerosInitIsZero) {
+  const Matrix z = zeros_init(3, 4);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_EQ(z[i], 0.0);
+  }
+}
+
+// --------------------------------------------------------------- linear --
+
+TEST(Linear, ForwardComputesAffineMap) {
+  Matrix w{{1.0, 2.0}, {3.0, 4.0}};  // out=2, in=2
+  Matrix b{{10.0, 20.0}};
+  Linear lin(w, b);
+  Matrix x{{1.0, 1.0}};
+  Variable out = lin.forward(Variable(x, false));
+  EXPECT_DOUBLE_EQ(out.value()(0, 0), 13.0);  // 1+2+10
+  EXPECT_DOUBLE_EQ(out.value()(0, 1), 27.0);  // 3+4+20
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(3);
+  Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.forward(Variable(Matrix(1, 3), false)), ContractError);
+}
+
+TEST(Linear, ExposesTwoParameters) {
+  Rng rng(4);
+  Linear lin(3, 5, rng);
+  const auto params = lin.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].rows(), 5u);
+  EXPECT_EQ(params[0].cols(), 3u);
+  EXPECT_EQ(params[1].rows(), 1u);
+  EXPECT_EQ(params[1].cols(), 5u);
+}
+
+TEST(Linear, BiasShapeValidated) {
+  EXPECT_THROW(Linear(Matrix(2, 3), Matrix(1, 3)), ContractError);
+}
+
+// ---------------------------------------------------------- activations --
+
+TEST(Activations, NamesAndKinds) {
+  ActivationLayer relu_layer(Activation::kRelu);
+  EXPECT_EQ(relu_layer.name(), "ReLU");
+  EXPECT_EQ(relu_layer.kind(), Activation::kRelu);
+  EXPECT_TRUE(relu_layer.parameters().empty());
+  EXPECT_EQ(ActivationLayer(Activation::kSoftplus).name(), "Softplus");
+}
+
+TEST(Activations, IdentityPassesThrough) {
+  Matrix x{{-1.0, 2.0}};
+  Variable out =
+      apply_activation(Activation::kIdentity, Variable(x, false));
+  EXPECT_TRUE(approx_equal(out.value(), x));
+}
+
+// ------------------------------------------------------------------ mlp --
+
+TEST(Mlp, OutputShapeMatchesConfig) {
+  Rng rng(5);
+  MlpConfig cfg;
+  cfg.input_dim = 7;
+  cfg.hidden = {16, 8};
+  cfg.output_dim = 1;
+  Mlp mlp(cfg, rng);
+  const Matrix out = mlp.predict(Matrix(4, 7, 0.5));
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), 1u);
+}
+
+TEST(Mlp, ParameterCountFormula) {
+  Rng rng(6);
+  MlpConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = {5};
+  cfg.output_dim = 2;
+  Mlp mlp(cfg, rng);
+  // (3*5 + 5) + (5*2 + 2) = 32.
+  EXPECT_EQ(mlp.parameter_count(), 32u);
+}
+
+TEST(Mlp, SoftplusHeadIsPositive) {
+  Rng rng(7);
+  MlpConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {8};
+  cfg.output_activation = Activation::kSoftplus;
+  Mlp mlp(cfg, rng);
+  const Matrix out = mlp.predict(random_matrix(10, 4, rng, 3.0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i], 0.0);
+  }
+}
+
+TEST(Mlp, SigmoidHeadInUnitInterval) {
+  Rng rng(8);
+  MlpConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {8};
+  cfg.output_activation = Activation::kSigmoid;
+  Mlp mlp(cfg, rng);
+  const Matrix out = mlp.predict(random_matrix(10, 4, rng, 3.0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i], 0.0);
+    EXPECT_LT(out[i], 1.0);
+  }
+}
+
+TEST(Mlp, LinearLayersEnumerated) {
+  Rng rng(9);
+  MlpConfig cfg;
+  cfg.hidden = {8, 8};
+  Mlp mlp(cfg, rng);
+  EXPECT_EQ(mlp.linear_layers().size(), 3u);
+}
+
+TEST(Mlp, InvalidConfigThrows) {
+  Rng rng(10);
+  MlpConfig cfg;
+  cfg.input_dim = 0;
+  EXPECT_THROW(Mlp(cfg, rng), ContractError);
+}
+
+// ----------------------------------------------------------------- loss --
+
+TEST(Loss, MseValueKnown) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(mse_value(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(mae_value(a, b), 1.0);
+}
+
+TEST(Loss, HuberQuadraticInside) {
+  Matrix pred{{0.5}};
+  Matrix target{{0.0}};
+  Variable p(pred, true);
+  auto l = huber(p, target, 1.0);
+  EXPECT_NEAR(l.value()[0], 0.125, 1e-12);
+  l.backward();
+  EXPECT_NEAR(p.grad()[0], 0.5, 1e-12);
+}
+
+TEST(Loss, HuberLinearOutside) {
+  Matrix pred{{3.0}};
+  Matrix target{{0.0}};
+  Variable p(pred, true);
+  auto l = huber(p, target, 1.0);
+  EXPECT_NEAR(l.value()[0], 2.5, 1e-12);  // 1*(3 - 0.5)
+  l.backward();
+  EXPECT_NEAR(p.grad()[0], 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ optimizer --
+
+TEST(Sgd, SingleStepMovesAgainstGradient) {
+  Variable w(Matrix{{1.0}}, true);
+  Sgd opt({w}, 0.1);
+  // loss = w^2, grad = 2w.
+  auto loss = autograd::mul(w, w);
+  autograd::sum_all(loss).backward();
+  opt.step();
+  EXPECT_NEAR(w.value()[0], 1.0 - 0.1 * 2.0, 1e-12);
+}
+
+TEST(Sgd, SkipsParametersWithoutGradient) {
+  Variable w(Matrix{{1.0}}, true);
+  Sgd opt({w}, 0.1);
+  opt.step();  // no backward ran
+  EXPECT_DOUBLE_EQ(w.value()[0], 1.0);
+}
+
+TEST(Sgd, MomentumAcceleratesRepeatedSteps) {
+  auto run = [](double momentum) {
+    Variable w(Matrix{{10.0}}, true);
+    Sgd opt({w}, 0.05, momentum);
+    for (int i = 0; i < 10; ++i) {
+      opt.zero_grad();
+      autograd::sum_all(autograd::mul(w, w)).backward();
+      opt.step();
+    }
+    return w.value()[0];
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Variable w(Matrix{{1.0}}, true);
+  Sgd opt({w}, 0.1, 0.0, 0.5);
+  opt.zero_grad();
+  autograd::sum_all(autograd::scale(w, 0.0)).backward();  // zero gradient
+  opt.step();
+  EXPECT_NEAR(w.value()[0], 1.0 * (1.0 - 0.1 * 0.5), 1e-12);
+}
+
+TEST(Sgd, RejectsNonTrainableParameter) {
+  Variable frozen(Matrix{{1.0}}, false);
+  EXPECT_THROW(Sgd({frozen}, 0.1), ContractError);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Variable w(Matrix{{5.0}, {-3.0}}, true);
+  Adam opt({w}, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    autograd::sum_all(autograd::mul(w, w)).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value()[0], 0.0, 1e-3);
+  EXPECT_NEAR(w.value()[1], 0.0, 1e-3);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction the first Adam step is ±lr regardless of gradient
+  // magnitude.
+  Variable w(Matrix{{1.0}}, true);
+  Adam opt({w}, 0.01);
+  opt.zero_grad();
+  autograd::sum_all(autograd::scale(w, 100.0)).backward();
+  opt.step();
+  EXPECT_NEAR(w.value()[0], 1.0 - 0.01, 1e-6);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Variable w(Matrix{{1.0}}, true);
+  Adam opt({w}, 0.1);
+  autograd::sum_all(autograd::mul(w, w)).backward();
+  EXPECT_FALSE(w.grad().empty());
+  opt.zero_grad();
+  EXPECT_TRUE(w.grad().empty());
+}
+
+TEST(Training, MlpFitsSimpleFunction) {
+  // Regression sanity: y = 2 x0 - x1 learned to low MSE.
+  Rng rng(11);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {16};
+  Mlp mlp(cfg, rng);
+  Adam opt(mlp.parameters(), 0.02);
+
+  const Matrix x = random_matrix(64, 2, rng);
+  Matrix y(64, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    y(i, 0) = 2.0 * x(i, 0) - x(i, 1);
+  }
+  double last = 0.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    opt.zero_grad();
+    auto out = mlp.forward(Variable(x, false));
+    auto loss = mse(out, y);
+    last = loss.value()[0];
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(last, 0.01);
+}
+
+// ------------------------------------------------------------ serialize --
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Rng rng(12);
+  MlpConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden = {8, 4};
+  Mlp a(cfg, rng);
+  Mlp b(cfg, rng);  // different init
+  const Matrix x = random_matrix(6, 5, rng);
+  ASSERT_FALSE(approx_equal(a.predict(x), b.predict(x), 1e-9));
+
+  std::stringstream buffer;
+  save_mlp(buffer, a);
+  load_mlp(buffer, b);
+  EXPECT_TRUE(approx_equal(a.predict(x), b.predict(x), 1e-15));
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  Rng rng(13);
+  Mlp m(MlpConfig{}, rng);
+  std::stringstream buffer("not-a-checkpoint 1\n");
+  EXPECT_THROW(load_mlp(buffer, m), ContractError);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(14);
+  MlpConfig small;
+  small.hidden = {4};
+  MlpConfig big;
+  big.hidden = {4, 4};
+  Mlp a(small, rng);
+  Mlp b(big, rng);
+  std::stringstream buffer;
+  save_mlp(buffer, a);
+  EXPECT_THROW(load_mlp(buffer, b), ContractError);
+}
+
+// Property sweep over widths: forward shape and head ranges hold.
+class MlpShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MlpShapeTest, ForwardShapes) {
+  const auto [batch, in, hidden] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(batch * 100 + in * 10 + hidden));
+  MlpConfig cfg;
+  cfg.input_dim = static_cast<std::size_t>(in);
+  cfg.hidden = {static_cast<std::size_t>(hidden)};
+  Mlp mlp(cfg, rng);
+  const Matrix out = mlp.predict(Matrix(batch, in, 0.1));
+  EXPECT_EQ(out.rows(), static_cast<std::size_t>(batch));
+  EXPECT_EQ(out.cols(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MlpShapeTest,
+                         ::testing::Combine(::testing::Values(1, 3, 9),
+                                            ::testing::Values(2, 8),
+                                            ::testing::Values(4, 16)));
+
+}  // namespace
+}  // namespace mfcp::nn
