@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_motivation.dir/exp_fig2_motivation.cpp.o"
+  "CMakeFiles/exp_fig2_motivation.dir/exp_fig2_motivation.cpp.o.d"
+  "exp_fig2_motivation"
+  "exp_fig2_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_overall.dir/exp_fig4_overall.cpp.o"
+  "CMakeFiles/exp_fig4_overall.dir/exp_fig4_overall.cpp.o.d"
+  "exp_fig4_overall"
+  "exp_fig4_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

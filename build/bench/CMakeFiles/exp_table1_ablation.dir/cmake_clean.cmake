@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_ablation.dir/exp_table1_ablation.cpp.o"
+  "CMakeFiles/exp_table1_ablation.dir/exp_table1_ablation.cpp.o.d"
+  "exp_table1_ablation"
+  "exp_table1_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2_parallel.dir/exp_table2_parallel.cpp.o"
+  "CMakeFiles/exp_table2_parallel.dir/exp_table2_parallel.cpp.o.d"
+  "exp_table2_parallel"
+  "exp_table2_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

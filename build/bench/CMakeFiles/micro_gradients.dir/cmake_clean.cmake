@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gradients.dir/micro_gradients.cpp.o"
+  "CMakeFiles/micro_gradients.dir/micro_gradients.cpp.o.d"
+  "micro_gradients"
+  "micro_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

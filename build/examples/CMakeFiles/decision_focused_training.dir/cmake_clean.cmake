@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_focused_training.dir/decision_focused_training.cpp.o"
+  "CMakeFiles/decision_focused_training.dir/decision_focused_training.cpp.o.d"
+  "decision_focused_training"
+  "decision_focused_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_focused_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_cluster_scheduling.dir/parallel_cluster_scheduling.cpp.o"
+  "CMakeFiles/parallel_cluster_scheduling.dir/parallel_cluster_scheduling.cpp.o.d"
+  "parallel_cluster_scheduling"
+  "parallel_cluster_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_cluster_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

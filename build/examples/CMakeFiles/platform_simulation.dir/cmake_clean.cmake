@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_simulation.dir/platform_simulation.cpp.o"
+  "CMakeFiles/platform_simulation.dir/platform_simulation.cpp.o.d"
+  "platform_simulation"
+  "platform_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

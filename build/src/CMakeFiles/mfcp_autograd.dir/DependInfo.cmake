@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cpp" "src/CMakeFiles/mfcp_autograd.dir/autograd/ops.cpp.o" "gcc" "src/CMakeFiles/mfcp_autograd.dir/autograd/ops.cpp.o.d"
+  "/root/repo/src/autograd/tape.cpp" "src/CMakeFiles/mfcp_autograd.dir/autograd/tape.cpp.o" "gcc" "src/CMakeFiles/mfcp_autograd.dir/autograd/tape.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/CMakeFiles/mfcp_autograd.dir/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/mfcp_autograd.dir/autograd/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_autograd.dir/autograd/ops.cpp.o"
+  "CMakeFiles/mfcp_autograd.dir/autograd/ops.cpp.o.d"
+  "CMakeFiles/mfcp_autograd.dir/autograd/tape.cpp.o"
+  "CMakeFiles/mfcp_autograd.dir/autograd/tape.cpp.o.d"
+  "CMakeFiles/mfcp_autograd.dir/autograd/variable.cpp.o"
+  "CMakeFiles/mfcp_autograd.dir/autograd/variable.cpp.o.d"
+  "libmfcp_autograd.a"
+  "libmfcp_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

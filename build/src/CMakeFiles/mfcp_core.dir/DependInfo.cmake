@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mfcp/baseline_tam.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/baseline_tam.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/baseline_tam.cpp.o.d"
+  "/root/repo/src/mfcp/baseline_ucb.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/baseline_ucb.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/baseline_ucb.cpp.o.d"
+  "/root/repo/src/mfcp/experiment.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/experiment.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/experiment.cpp.o.d"
+  "/root/repo/src/mfcp/linear_model.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/linear_model.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/linear_model.cpp.o.d"
+  "/root/repo/src/mfcp/metrics.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/metrics.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/metrics.cpp.o.d"
+  "/root/repo/src/mfcp/predictor.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/predictor.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/predictor.cpp.o.d"
+  "/root/repo/src/mfcp/regret.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/regret.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/regret.cpp.o.d"
+  "/root/repo/src/mfcp/trainer_mfcp_ad.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_ad.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_ad.cpp.o.d"
+  "/root/repo/src/mfcp/trainer_mfcp_fg.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_fg.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_fg.cpp.o.d"
+  "/root/repo/src/mfcp/trainer_tsm.cpp" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_tsm.cpp.o" "gcc" "src/CMakeFiles/mfcp_core.dir/mfcp/trainer_tsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_core.dir/mfcp/baseline_tam.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/baseline_tam.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/baseline_ucb.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/baseline_ucb.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/experiment.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/experiment.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/linear_model.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/linear_model.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/metrics.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/metrics.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/predictor.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/predictor.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/regret.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/regret.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_ad.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_ad.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_fg.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_mfcp_fg.cpp.o.d"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_tsm.cpp.o"
+  "CMakeFiles/mfcp_core.dir/mfcp/trainer_tsm.cpp.o.d"
+  "libmfcp_core.a"
+  "libmfcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diff/finite_diff.cpp" "src/CMakeFiles/mfcp_diff.dir/diff/finite_diff.cpp.o" "gcc" "src/CMakeFiles/mfcp_diff.dir/diff/finite_diff.cpp.o.d"
+  "/root/repo/src/diff/kkt.cpp" "src/CMakeFiles/mfcp_diff.dir/diff/kkt.cpp.o" "gcc" "src/CMakeFiles/mfcp_diff.dir/diff/kkt.cpp.o.d"
+  "/root/repo/src/diff/zeroth_order.cpp" "src/CMakeFiles/mfcp_diff.dir/diff/zeroth_order.cpp.o" "gcc" "src/CMakeFiles/mfcp_diff.dir/diff/zeroth_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_diff.dir/diff/finite_diff.cpp.o"
+  "CMakeFiles/mfcp_diff.dir/diff/finite_diff.cpp.o.d"
+  "CMakeFiles/mfcp_diff.dir/diff/kkt.cpp.o"
+  "CMakeFiles/mfcp_diff.dir/diff/kkt.cpp.o.d"
+  "CMakeFiles/mfcp_diff.dir/diff/zeroth_order.cpp.o"
+  "CMakeFiles/mfcp_diff.dir/diff/zeroth_order.cpp.o.d"
+  "libmfcp_diff.a"
+  "libmfcp_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/blas.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/solve.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/solve.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/mfcp_linalg.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/mfcp_linalg.dir/linalg/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_linalg.dir/linalg/blas.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/blas.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/solve.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/solve.cpp.o.d"
+  "CMakeFiles/mfcp_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/mfcp_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "libmfcp_linalg.a"
+  "libmfcp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/barrier.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/barrier.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/barrier.cpp.o.d"
+  "/root/repo/src/matching/entropy.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/entropy.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/entropy.cpp.o.d"
+  "/root/repo/src/matching/objective.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/objective.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/objective.cpp.o.d"
+  "/root/repo/src/matching/penalty.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/penalty.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/penalty.cpp.o.d"
+  "/root/repo/src/matching/problem.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/problem.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/problem.cpp.o.d"
+  "/root/repo/src/matching/rounding.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/rounding.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/rounding.cpp.o.d"
+  "/root/repo/src/matching/smooth_objective.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/smooth_objective.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/smooth_objective.cpp.o.d"
+  "/root/repo/src/matching/solver_exact.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/solver_exact.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/solver_exact.cpp.o.d"
+  "/root/repo/src/matching/solver_gd.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/solver_gd.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/solver_gd.cpp.o.d"
+  "/root/repo/src/matching/solver_mirror.cpp" "src/CMakeFiles/mfcp_matching.dir/matching/solver_mirror.cpp.o" "gcc" "src/CMakeFiles/mfcp_matching.dir/matching/solver_mirror.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_matching.dir/matching/barrier.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/barrier.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/entropy.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/entropy.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/objective.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/objective.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/penalty.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/penalty.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/problem.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/problem.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/rounding.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/rounding.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/smooth_objective.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/smooth_objective.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_exact.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_exact.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_gd.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_gd.cpp.o.d"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_mirror.cpp.o"
+  "CMakeFiles/mfcp_matching.dir/matching/solver_mirror.cpp.o.d"
+  "libmfcp_matching.a"
+  "libmfcp_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

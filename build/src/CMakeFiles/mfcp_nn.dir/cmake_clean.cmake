@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/init.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/init.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/mfcp_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/mfcp_nn.dir/nn/serialize.cpp.o.d"
+  "libmfcp_nn.a"
+  "libmfcp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_parallel.dir/parallel/parallel_for.cpp.o"
+  "CMakeFiles/mfcp_parallel.dir/parallel/parallel_for.cpp.o.d"
+  "CMakeFiles/mfcp_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/mfcp_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libmfcp_parallel.a"
+  "libmfcp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/dataset.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/dataset.cpp.o.d"
+  "/root/repo/src/sim/embedding.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/embedding.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/embedding.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/failure.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/failure.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/speedup.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/speedup.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/speedup.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/CMakeFiles/mfcp_sim.dir/sim/task.cpp.o" "gcc" "src/CMakeFiles/mfcp_sim.dir/sim/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfcp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

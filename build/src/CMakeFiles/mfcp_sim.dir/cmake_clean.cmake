@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/dataset.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/dataset.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/embedding.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/embedding.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/failure.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/failure.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/platform.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/platform.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/speedup.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/speedup.cpp.o.d"
+  "CMakeFiles/mfcp_sim.dir/sim/task.cpp.o"
+  "CMakeFiles/mfcp_sim.dir/sim/task.cpp.o.d"
+  "libmfcp_sim.a"
+  "libmfcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfcp_sim.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_support.dir/support/check.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/check.cpp.o.d"
+  "CMakeFiles/mfcp_support.dir/support/log.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/log.cpp.o.d"
+  "CMakeFiles/mfcp_support.dir/support/rng.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/mfcp_support.dir/support/stats.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/mfcp_support.dir/support/stopwatch.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/stopwatch.cpp.o.d"
+  "CMakeFiles/mfcp_support.dir/support/table.cpp.o"
+  "CMakeFiles/mfcp_support.dir/support/table.cpp.o.d"
+  "libmfcp_support.a"
+  "libmfcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_objective_test.dir/matching_objective_test.cpp.o"
+  "CMakeFiles/matching_objective_test.dir/matching_objective_test.cpp.o.d"
+  "matching_objective_test"
+  "matching_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

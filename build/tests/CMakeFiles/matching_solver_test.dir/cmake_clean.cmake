@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_solver_test.dir/matching_solver_test.cpp.o"
+  "CMakeFiles/matching_solver_test.dir/matching_solver_test.cpp.o.d"
+  "matching_solver_test"
+  "matching_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcp_core_test.dir/mfcp_core_test.cpp.o"
+  "CMakeFiles/mfcp_core_test.dir/mfcp_core_test.cpp.o.d"
+  "mfcp_core_test"
+  "mfcp_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcp_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[support_test]=] "/root/repo/build/tests/support_test")
+set_tests_properties([=[support_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[parallel_test]=] "/root/repo/build/tests/parallel_test")
+set_tests_properties([=[parallel_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[linalg_test]=] "/root/repo/build/tests/linalg_test")
+set_tests_properties([=[linalg_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[autograd_test]=] "/root/repo/build/tests/autograd_test")
+set_tests_properties([=[autograd_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[nn_test]=] "/root/repo/build/tests/nn_test")
+set_tests_properties([=[nn_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sim_test]=] "/root/repo/build/tests/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[matching_objective_test]=] "/root/repo/build/tests/matching_objective_test")
+set_tests_properties([=[matching_objective_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[matching_solver_test]=] "/root/repo/build/tests/matching_solver_test")
+set_tests_properties([=[matching_solver_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[diff_test]=] "/root/repo/build/tests/diff_test")
+set_tests_properties([=[diff_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mfcp_core_test]=] "/root/repo/build/tests/mfcp_core_test")
+set_tests_properties([=[mfcp_core_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[integration_test]=] "/root/repo/build/tests/integration_test")
+set_tests_properties([=[integration_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[linear_model_test]=] "/root/repo/build/tests/linear_model_test")
+set_tests_properties([=[linear_model_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[trainer_options_test]=] "/root/repo/build/tests/trainer_options_test")
+set_tests_properties([=[trainer_options_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;mfcp_test;/root/repo/tests/CMakeLists.txt;0;")
