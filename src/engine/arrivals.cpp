@@ -1,0 +1,90 @@
+#include "engine/arrivals.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace mfcp::engine {
+
+double ArrivalConfig::rate_at(double t) const noexcept {
+  if (burst_period_hours <= 0.0 || burst_factor == 1.0) {
+    return rate_per_hour;
+  }
+  const double phase = std::fmod(t, burst_period_hours);
+  const bool bursting = phase < burst_duty * burst_period_hours;
+  return bursting ? rate_per_hour * burst_factor : rate_per_hour;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed), tasks_(rng_.split()) {
+  MFCP_CHECK(config_.rate_per_hour > 0.0, "arrival rate must be positive");
+  MFCP_CHECK(config_.burst_factor > 0.0, "burst factor must be positive");
+  MFCP_CHECK(config_.burst_duty > 0.0 && config_.burst_duty < 1.0,
+             "burst duty must lie in (0, 1)");
+  MFCP_CHECK(config_.deadline_hours > 0.0, "deadline must be positive");
+  advance();
+}
+
+void ArrivalProcess::advance() {
+  pending_.reset();
+  if (generated_ >= config_.max_arrivals) {
+    return;
+  }
+  // Piecewise-constant-rate Poisson via per-segment exponentials: draw an
+  // exponential at the current segment's rate; if it crosses the next rate
+  // boundary, jump to the boundary and redraw (exact by memorylessness).
+  double t = clock_hours_;
+  for (;;) {
+    const double rate = config_.rate_at(t);
+    const double u = rng_.uniform();
+    const double dt = -std::log1p(-u) / rate;
+    if (config_.burst_period_hours <= 0.0 || config_.burst_factor == 1.0) {
+      t += dt;
+      break;
+    }
+    const double period = config_.burst_period_hours;
+    const double phase = std::fmod(t, period);
+    const double boundary_phase = phase < config_.burst_duty * period
+                                      ? config_.burst_duty * period
+                                      : period;
+    const double boundary = t - phase + boundary_phase;
+    if (t + dt <= boundary) {
+      t += dt;
+      break;
+    }
+    // Clip to the boundary and redraw; when rounding collapses the
+    // boundary onto t, nudge one ulp so the loop always makes progress.
+    t = boundary > t
+            ? boundary
+            : std::nextafter(t, std::numeric_limits<double>::infinity());
+  }
+  clock_hours_ = t;
+
+  Arrival a;
+  a.id = generated_;
+  a.time_hours = clock_hours_;
+  a.deadline_hours = clock_hours_ + config_.deadline_hours;
+  a.task = tasks_.sample();
+  pending_ = std::move(a);
+  ++generated_;
+}
+
+std::optional<Arrival> ArrivalProcess::next() {
+  if (!pending_.has_value()) {
+    return std::nullopt;
+  }
+  Arrival out = std::move(*pending_);
+  advance();
+  ++emitted_;
+  return out;
+}
+
+std::optional<double> ArrivalProcess::peek_time() {
+  if (!pending_.has_value()) {
+    return std::nullopt;
+  }
+  return pending_->time_hours;
+}
+
+}  // namespace mfcp::engine

@@ -1,0 +1,78 @@
+// Streaming task arrivals for the online platform engine.
+//
+// The offline harnesses replay train/test splits; a live exchange platform
+// instead sees a continuous stream of job submissions. This module models
+// that stream as a seeded non-homogeneous Poisson process: a base rate
+// modulated by periodic bursts (diurnal load, batch-submission spikes).
+// Every arrival carries a deadline — jobs whose owners give up waiting are
+// dropped by the admission queue, so batching latency has a real cost.
+//
+// Determinism contract: the full arrival sequence (times, tasks, deadlines)
+// is a pure function of ArrivalConfig. Two processes with equal configs
+// produce bit-identical streams, which is what makes engine runs replayable
+// and the frozen-vs-online comparison in bench/exp_online_engine paired.
+#pragma once
+
+#include <optional>
+
+#include "sim/task.hpp"
+
+namespace mfcp::engine {
+
+struct ArrivalConfig {
+  /// Base Poisson rate in tasks per simulated hour.
+  double rate_per_hour = 60.0;
+  /// Rate multiplier during bursts (1 = homogeneous Poisson).
+  double burst_factor = 1.0;
+  /// Burst cycle length in hours; 0 disables bursts entirely.
+  double burst_period_hours = 0.0;
+  /// Fraction of each cycle spent at the burst rate (start of the cycle).
+  double burst_duty = 0.25;
+  /// Patience: a task's deadline is its arrival time plus this.
+  double deadline_hours = 2.0;
+  /// Stream length; the process is exhausted after this many arrivals.
+  std::size_t max_arrivals = 500;
+  std::uint64_t seed = 0xa221e5ULL;
+
+  /// Instantaneous rate at simulated time t (piecewise constant).
+  [[nodiscard]] double rate_at(double t) const noexcept;
+};
+
+/// One job submission event.
+struct Arrival {
+  std::size_t id = 0;          // dense sequence number, 0-based
+  double time_hours = 0.0;     // submission time on the simulated clock
+  double deadline_hours = 0.0; // drop the job if not dispatched by then
+  sim::TaskDescriptor task;
+};
+
+/// Lazily generates the arrival stream.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& config);
+
+  /// Next event, or nullopt once max_arrivals have been emitted.
+  std::optional<Arrival> next();
+
+  /// Submission time of the upcoming event without consuming it.
+  [[nodiscard]] std::optional<double> peek_time();
+
+  /// Number of arrivals handed out by next() so far.
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return !pending_.has_value();
+  }
+
+ private:
+  void advance();
+
+  ArrivalConfig config_;
+  Rng rng_;
+  sim::TaskGenerator tasks_;
+  double clock_hours_ = 0.0;
+  std::size_t generated_ = 0;
+  std::size_t emitted_ = 0;
+  std::optional<Arrival> pending_;
+};
+
+}  // namespace mfcp::engine

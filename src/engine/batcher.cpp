@@ -1,0 +1,46 @@
+#include "engine/batcher.hpp"
+
+#include "support/check.hpp"
+
+namespace mfcp::engine {
+
+std::string to_string(RoundTrigger trigger) {
+  switch (trigger) {
+    case RoundTrigger::kSize:
+      return "size";
+    case RoundTrigger::kTimeout:
+      return "timeout";
+    case RoundTrigger::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+MicroBatcher::MicroBatcher(const BatcherConfig& config) : config_(config) {
+  MFCP_CHECK(config_.max_batch > 0, "batch size must be positive");
+  MFCP_CHECK(config_.max_wait_hours > 0.0, "max wait must be positive");
+}
+
+bool MicroBatcher::should_fire(std::size_t queue_depth,
+                               double oldest_arrival_time,
+                               double now) const noexcept {
+  if (queue_depth == 0) {
+    return false;
+  }
+  return queue_depth >= config_.max_batch ||
+         now >= timeout_at(oldest_arrival_time);
+}
+
+RoundTrigger MicroBatcher::classify(std::size_t queue_depth,
+                                    double oldest_arrival_time,
+                                    double now) const noexcept {
+  if (queue_depth >= config_.max_batch) {
+    return RoundTrigger::kSize;
+  }
+  if (now >= timeout_at(oldest_arrival_time)) {
+    return RoundTrigger::kTimeout;
+  }
+  return RoundTrigger::kFlush;
+}
+
+}  // namespace mfcp::engine

@@ -1,0 +1,58 @@
+// Size-or-timeout micro-batching policy for matching rounds.
+//
+// The matching solvers amortize well over larger rounds (one barrier solve
+// for N tasks), but tasks left waiting burn their deadlines. The standard
+// serving compromise is micro-batching: close a round as soon as EITHER
+//   - the queue holds max_batch tasks (size trigger), OR
+//   - the oldest waiting task has waited max_wait_hours (timeout trigger).
+// A final flush round drains whatever remains when the stream ends.
+//
+// The policy is a pure function of (queue depth, head arrival time, clock),
+// which keeps it unit-testable and the engine loop deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mfcp::engine {
+
+enum class RoundTrigger : int { kSize = 0, kTimeout = 1, kFlush = 2 };
+
+std::string to_string(RoundTrigger trigger);
+
+struct BatcherConfig {
+  /// Tasks per matching round when the size trigger fires.
+  std::size_t max_batch = 6;
+  /// Longest the head of the queue may wait before a round is forced.
+  double max_wait_hours = 0.25;
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const BatcherConfig& config);
+
+  [[nodiscard]] const BatcherConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// True when a round must close at time `now` given the queue state.
+  [[nodiscard]] bool should_fire(std::size_t queue_depth,
+                                 double oldest_arrival_time,
+                                 double now) const noexcept;
+
+  /// The absolute time at which the timeout trigger fires for a head job
+  /// that arrived at `oldest_arrival_time`.
+  [[nodiscard]] double timeout_at(double oldest_arrival_time) const noexcept {
+    return oldest_arrival_time + config_.max_wait_hours;
+  }
+
+  /// Which trigger explains a round closing at `now` (size wins ties).
+  [[nodiscard]] RoundTrigger classify(std::size_t queue_depth,
+                                      double oldest_arrival_time,
+                                      double now) const noexcept;
+
+ private:
+  BatcherConfig config_;
+};
+
+}  // namespace mfcp::engine

@@ -1,0 +1,284 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mfcp::engine {
+
+OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
+                           const sim::PseudoGnnEmbedder& embedder,
+                           core::PlatformPredictor& predictor,
+                           ThreadPool* pool)
+    : config_(std::move(config)),
+      platform_(std::move(platform)),
+      embedder_(embedder),
+      predictor_(predictor),
+      pool_(pool),
+      arrivals_(config_.arrivals),
+      queue_(config_.queue),
+      batcher_(config_.batcher),
+      trainer_(config_.trainer),
+      dispatch_rng_(config_.seed ^ 0xd15a7c4ULL) {
+  MFCP_CHECK(platform_.num_clusters() == predictor_.num_clusters(),
+             "platform and predictor disagree on cluster count");
+  MFCP_CHECK(config_.gamma > 0.0 && config_.gamma < 1.0,
+             "gamma must lie in (0, 1)");
+  MFCP_CHECK(config_.profile_probability >= 0.0 &&
+                 config_.profile_probability <= 1.0,
+             "profile probability must lie in [0, 1]");
+  MFCP_CHECK(config_.metrics_window > 0, "metrics window must be positive");
+  std::sort(config_.drift_events.begin(), config_.drift_events.end(),
+            [](const DriftEventSpec& a, const DriftEventSpec& b) {
+              return a.at_hours < b.at_hours;
+            });
+}
+
+void OnlineEngine::advance_clock(double to_hours) {
+  MFCP_DCHECK(to_hours >= clock_hours_, "simulated clock moved backwards");
+  while (next_drift_ < config_.drift_events.size() &&
+         config_.drift_events[next_drift_].at_hours <= to_hours) {
+    const DriftEventSpec& event = config_.drift_events[next_drift_];
+    MFCP_CHECK(event.cluster < platform_.num_clusters(),
+               "drift event references unknown cluster");
+    sim::apply_drift(platform_, event.cluster, event.drift);
+    MFCP_LOG(kInfo) << "t=" << event.at_hours << "h: cluster "
+                    << platform_.cluster(event.cluster).name()
+                    << " drifted (time x" << event.drift.time_scale
+                    << ", logit " << event.drift.reliability_logit_shift
+                    << ")";
+    ++next_drift_;
+  }
+  clock_hours_ = to_hours;
+}
+
+EngineResult OnlineEngine::run() {
+  MFCP_CHECK(!ran_, "OnlineEngine::run is single-shot per instance");
+  ran_ = true;
+
+  Stopwatch wall;
+  EngineResult result;
+  core::MetricsAccumulator window;
+  std::deque<double> recent_regret;
+
+  auto close_round = [&](RoundTrigger trigger) {
+    queue_.expire(clock_hours_);
+    if (queue_.empty()) {
+      return;
+    }
+    RoundRecord rec = run_round(trigger);
+
+    // Trailing rolling window for the CSV...
+    recent_regret.push_back(rec.regret);
+    if (recent_regret.size() > config_.metrics_window) {
+      recent_regret.pop_front();
+    }
+    rec.rolling_regret =
+        std::accumulate(recent_regret.begin(), recent_regret.end(), 0.0) /
+        static_cast<double>(recent_regret.size());
+
+    // ...and tumbling windows folded into the running total via the
+    // streaming reset()/merge() pair.
+    core::MatchOutcome outcome;
+    outcome.regret = rec.regret;
+    outcome.reliability = rec.reliability;
+    outcome.utilization = rec.utilization;
+    outcome.makespan = rec.makespan;
+    outcome.feasible = rec.reliability >= config_.gamma;
+    window.add(outcome);
+    if (window.rounds() >= config_.metrics_window) {
+      result.windows.push_back(WindowSummary{rec.round, window});
+      result.total.merge(window);
+      window.reset();
+    }
+    result.rounds.push_back(rec);
+  };
+
+  for (;;) {
+    const std::optional<double> next_arrival = arrivals_.peek_time();
+    std::optional<double> next_timeout;
+    if (!queue_.empty()) {
+      next_timeout = batcher_.timeout_at(queue_.oldest_arrival_time());
+    }
+
+    if (next_arrival.has_value() &&
+        (!next_timeout.has_value() || *next_arrival <= *next_timeout)) {
+      advance_clock(*next_arrival);
+      auto arrival = arrivals_.next();
+      ++counters_.arrivals;
+      queue_.expire(clock_hours_);
+      if (queue_.push(std::move(*arrival))) {
+        ++counters_.admitted;
+      }
+      if (queue_.depth() >= batcher_.config().max_batch) {
+        close_round(RoundTrigger::kSize);
+      }
+    } else if (next_timeout.has_value()) {
+      advance_clock(*next_timeout);
+      close_round(RoundTrigger::kTimeout);
+    } else if (!queue_.empty()) {
+      // Stream exhausted with a partial batch waiting: drain immediately
+      // instead of simulating out the timeout.
+      close_round(RoundTrigger::kFlush);
+    } else {
+      break;
+    }
+  }
+
+  // Carry the partial final window into the totals.
+  if (window.rounds() > 0) {
+    result.windows.push_back(
+        WindowSummary{result.rounds.back().round, window});
+    result.total.merge(window);
+  }
+
+  counters_.dropped_capacity = queue_.stats().dropped_capacity;
+  counters_.expired = queue_.stats().expired;
+  counters_.dispatched = queue_.stats().dispatched;
+  counters_.sim_time_hours = clock_hours_;
+  result.counters = counters_;
+  result.queue = queue_.stats();
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
+  const std::size_t m = platform_.num_clusters();
+  auto batch = queue_.pop_batch(batcher_.config().max_batch);
+  MFCP_DCHECK(!batch.empty(), "round closed with no tasks");
+
+  std::vector<sim::TaskDescriptor> tasks;
+  tasks.reserve(batch.size());
+  double max_wait = 0.0;
+  for (const Arrival& a : batch) {
+    tasks.push_back(a.task);
+    max_wait = std::max(max_wait, clock_hours_ - a.time_hours);
+  }
+  const Matrix features = embedder_.embed_batch(tasks);
+
+  matching::MatchingProblem truth;
+  truth.times = platform_.true_times(tasks);
+  truth.reliability = platform_.true_reliability(tasks);
+  truth.gamma = config_.gamma;
+  truth.speedup = config_.speedup;
+
+  const Matrix t_hat = predictor_.predict_time_matrix(features);
+  const Matrix a_hat = predictor_.predict_reliability_matrix(features);
+  const matching::MatchingProblem predicted =
+      truth.with_metrics(t_hat, a_hat);
+
+  // Deployment solve and the same-operator reference solve (paper Eq. 6)
+  // are independent; with a pool they run concurrently.
+  Stopwatch solve_watch;
+  matching::Assignment deployed;
+  matching::Assignment reference;
+  if (pool_ != nullptr) {
+    auto deployed_fut = pool_->submit(
+        [&] { return core::deploy_matching(predicted, config_.eval); });
+    auto reference_fut = pool_->submit(
+        [&] { return core::deploy_matching(truth, config_.eval); });
+    deployed = deployed_fut.get();
+    reference = reference_fut.get();
+  } else {
+    deployed = core::deploy_matching(predicted, config_.eval);
+    reference = core::deploy_matching(truth, config_.eval);
+  }
+  const double solve_seconds = solve_watch.seconds();
+
+  const core::MatchOutcome outcome =
+      core::evaluate_assignment(truth, deployed, reference);
+
+  // Dispatch for real: sample success/failure on the assigned clusters.
+  const sim::ExecutionOutcome run = sim::execute_assignment(
+      platform_, tasks, deployed, dispatch_rng_, /*max_attempts=*/2);
+
+  // Feedback: observed runtimes on assigned clusters (bandit feedback),
+  // plus occasional shadow profiles of the full cluster column.
+  double error_sum = 0.0;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const auto ci = static_cast<std::size_t>(deployed[j]);
+    const double observed =
+        platform_.cluster(ci).measure_time(tasks[j], dispatch_rng_);
+    // Normalise by the *predicted* time: under-prediction (the predictor
+    // thinks a degraded cluster is still fast) then grows without bound
+    // instead of saturating at 1, so sudden slowdowns stand out against
+    // the baseline noise.
+    error_sum += std::abs(t_hat(ci, j) - observed) /
+                 std::max(t_hat(ci, j), 0.05);
+
+    Experience e;
+    e.features.assign(features.row_span(j).begin(),
+                      features.row_span(j).end());
+    e.cluster = ci;
+    e.observed_time = observed;
+    e.observed_success = run.succeeded[j] ? 1.0 : 0.0;
+    trainer_.record(std::move(e));
+
+    if (config_.profile_probability > 0.0 &&
+        dispatch_rng_.bernoulli(config_.profile_probability)) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (i == ci) {
+          continue;
+        }
+        Experience probe;
+        probe.features.assign(features.row_span(j).begin(),
+                              features.row_span(j).end());
+        probe.cluster = i;
+        probe.observed_time =
+            platform_.cluster(i).measure_time(tasks[j], dispatch_rng_);
+        probe.observed_success =
+            platform_.cluster(i).run_once(tasks[j], dispatch_rng_) ? 1.0
+                                                                   : 0.0;
+        trainer_.record(std::move(probe));
+      }
+    }
+  }
+  const double drift_stat =
+      error_sum / static_cast<double>(tasks.size());
+
+  bool retrained = false;
+  if (config_.online_retraining) {
+    retrained = trainer_.observe_round(drift_stat, predictor_);
+  }
+
+  RoundRecord rec;
+  rec.round = counters_.rounds;
+  rec.close_hours = clock_hours_;
+  rec.trigger = trigger;
+  rec.batch = tasks.size();
+  rec.queue_depth = queue_.depth();
+  rec.dropped_total = queue_.stats().dropped_total();
+  rec.max_wait_hours = max_wait;
+  rec.regret = outcome.regret;
+  rec.reliability = outcome.reliability;
+  rec.utilization = outcome.utilization;
+  rec.makespan = outcome.makespan;
+  rec.drift_stat = drift_stat;
+  rec.retrained = retrained;
+  rec.retrain_total = trainer_.retrain_count();
+  rec.solve_seconds = solve_seconds;
+
+  ++counters_.rounds;
+  counters_.retrains = trainer_.retrain_count();
+  return rec;
+}
+
+void OnlineEngine::checkpoint(const std::string& path) {
+  counters_.dropped_capacity = queue_.stats().dropped_capacity;
+  counters_.expired = queue_.stats().expired;
+  counters_.dispatched = queue_.stats().dispatched;
+  counters_.sim_time_hours = clock_hours_;
+  save_checkpoint(path, predictor_, counters_);
+}
+
+void OnlineEngine::restore(const std::string& path) {
+  counters_ = load_checkpoint(path, predictor_);
+  clock_hours_ = counters_.sim_time_hours;
+}
+
+}  // namespace mfcp::engine

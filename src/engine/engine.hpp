@@ -1,0 +1,162 @@
+// The online platform engine: an event-driven runtime that turns the
+// offline MFCP pipeline into a continuously operating exchange platform.
+//
+//   arrivals ──> admission queue ──> micro-batcher ──> matching round
+//                                                         │
+//        replay buffer + drift detector  <── dispatch <───┘
+//                │
+//                └─ retrain burst (fine-tunes the predictors in place)
+//
+// Each matching round embeds the batched tasks, predicts (T̂, Â) with the
+// shared PlatformPredictor, solves the deployment matching (offloaded to a
+// ThreadPool when one is provided — the reference solve for regret runs
+// concurrently), dispatches through the failure-injection simulator, and
+// feeds observed outcomes back into the drift-aware online trainer.
+//
+// The whole run is simulated-time deterministic: identical EngineConfig,
+// platform, and predictor state produce identical round assignments and
+// per-round records (the wall-clock solve_seconds field is the single
+// nondeterministic diagnostic and is excluded from metric CSVs).
+#pragma once
+
+#include <vector>
+
+#include "engine/arrivals.hpp"
+#include "engine/batcher.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/online_trainer.hpp"
+#include "engine/queue.hpp"
+#include "mfcp/metrics.hpp"
+#include "mfcp/regret.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/embedding.hpp"
+#include "sim/failure.hpp"
+
+namespace mfcp::engine {
+
+/// A scheduled environment change: at simulated time `at_hours`, cluster
+/// `cluster` drifts (see sim::ClusterDrift).
+struct DriftEventSpec {
+  double at_hours = 0.0;
+  std::size_t cluster = 0;
+  sim::ClusterDrift drift;
+};
+
+struct EngineConfig {
+  ArrivalConfig arrivals;
+  QueueConfig queue;
+  BatcherConfig batcher;
+  OnlineTrainerConfig trainer;
+  core::EvaluationConfig eval;
+  double gamma = 0.8;
+  sim::SpeedupCurve speedup = sim::SpeedupCurve::exclusive();
+
+  /// false freezes the predictor: outcomes are still observed and the
+  /// drift statistic still reported, but no retraining happens (the
+  /// baseline mode of bench/exp_online_engine).
+  bool online_retraining = true;
+
+  /// Per dispatched task, probability that the platform also shadow-
+  /// profiles it on every other cluster (full-row labels). Deployment
+  /// feedback alone is bandit feedback — a cluster the matcher avoids is
+  /// never observed, so a cluster that drifts *faster* could never be
+  /// rediscovered without this exploration budget.
+  double profile_probability = 0.1;
+
+  /// Rolling metrics window, in rounds, for the per-round CSV and the
+  /// windowed summaries (uses MetricsAccumulator reset()/merge()).
+  std::size_t metrics_window = 16;
+
+  /// Scheduled environment drift, sorted or not (the engine sorts).
+  std::vector<DriftEventSpec> drift_events;
+
+  /// Seeds dispatch/profiling randomness (arrival randomness is seeded by
+  /// arrivals.seed; retraining by trainer.seed).
+  std::uint64_t seed = 0xe61e0ULL;
+};
+
+/// One closed matching round, as written to the metrics CSV.
+struct RoundRecord {
+  std::size_t round = 0;
+  double close_hours = 0.0;      // simulated time the round closed
+  RoundTrigger trigger = RoundTrigger::kSize;
+  std::size_t batch = 0;         // tasks matched this round
+  std::size_t queue_depth = 0;   // remaining after the pop
+  std::size_t dropped_total = 0; // cumulative capacity + expiry drops
+  double max_wait_hours = 0.0;   // batching delay of the oldest task
+  double regret = 0.0;
+  double reliability = 0.0;
+  double utilization = 0.0;
+  double makespan = 0.0;
+  double drift_stat = 0.0;       // per-round relative time-prediction error
+  bool retrained = false;
+  std::size_t retrain_total = 0;
+  double rolling_regret = 0.0;   // mean over the trailing metrics window
+  double solve_seconds = 0.0;    // wall clock (diagnostic, nondeterministic)
+};
+
+/// Summary of one completed metrics window (every metrics_window rounds).
+struct WindowSummary {
+  std::size_t last_round = 0;
+  core::MetricsAccumulator metrics;
+};
+
+struct EngineResult {
+  std::vector<RoundRecord> rounds;
+  std::vector<WindowSummary> windows;
+  core::MetricsAccumulator total;
+  EngineCounters counters;
+  QueueStats queue;
+  double wall_seconds = 0.0;
+};
+
+class OnlineEngine {
+ public:
+  /// The engine owns its platform copy (drift events mutate it locally)
+  /// and borrows the predictor, so harnesses can pretrain, checkpoint,
+  /// and compare predictors across engine runs.
+  OnlineEngine(EngineConfig config, sim::Platform platform,
+               const sim::PseudoGnnEmbedder& embedder,
+               core::PlatformPredictor& predictor,
+               ThreadPool* pool = nullptr);
+
+  /// Consumes the arrival stream to exhaustion and returns the full
+  /// per-round trace. Callable once per engine instance.
+  EngineResult run();
+
+  /// Checkpoints the predictor weights plus current engine counters.
+  void checkpoint(const std::string& path);
+
+  /// Restores predictor weights and counters from a checkpoint.
+  void restore(const std::string& path);
+
+  [[nodiscard]] const EngineCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const sim::Platform& platform() const noexcept {
+    return platform_;
+  }
+
+ private:
+  void advance_clock(double to_hours);
+  RoundRecord run_round(RoundTrigger trigger);
+
+  EngineConfig config_;
+  sim::Platform platform_;
+  const sim::PseudoGnnEmbedder& embedder_;
+  core::PlatformPredictor& predictor_;
+  ThreadPool* pool_;
+
+  ArrivalProcess arrivals_;
+  AdmissionQueue queue_;
+  MicroBatcher batcher_;
+  OnlineTrainer trainer_;
+  Rng dispatch_rng_;
+
+  double clock_hours_ = 0.0;
+  std::size_t next_drift_ = 0;
+  EngineCounters counters_;
+  bool ran_ = false;
+};
+
+}  // namespace mfcp::engine

@@ -1,0 +1,174 @@
+#include "engine/online_trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace mfcp::engine {
+
+// ------------------------------------------------------------- replay --
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  MFCP_CHECK(capacity_ > 0, "replay buffer capacity must be positive");
+  buffer_.reserve(capacity_);
+}
+
+void ReplayBuffer::add(Experience experience) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(experience));
+    return;
+  }
+  buffer_[next_] = std::move(experience);
+  next_ = (next_ + 1) % capacity_;
+}
+
+const Experience& ReplayBuffer::at(std::size_t i) const {
+  MFCP_CHECK(i < buffer_.size(), "replay index out of range");
+  return buffer_[i];
+}
+
+std::vector<std::size_t> ReplayBuffer::indices_for_cluster(
+    std::size_t i) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t k = 0; k < buffer_.size(); ++k) {
+    if (buffer_[k].cluster == i) {
+      idx.push_back(k);
+    }
+  }
+  return idx;
+}
+
+// ----------------------------------------------------------- detector --
+
+DriftDetector::DriftDetector(const DriftConfig& config) : config_(config) {
+  MFCP_CHECK(config_.short_window > 0 && config_.long_window > 0,
+             "drift windows must be positive");
+  MFCP_CHECK(config_.ratio_threshold > 1.0,
+             "drift ratio threshold must exceed 1");
+}
+
+bool DriftDetector::observe(double error_stat) {
+  history_.push_back(error_stat);
+  const std::size_t keep = config_.short_window + config_.long_window;
+  while (history_.size() > keep) {
+    history_.pop_front();
+  }
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+  // Need a full short window plus at least half a baseline to compare.
+  if (history_.size() < config_.short_window + config_.long_window / 2) {
+    return false;
+  }
+  const double baseline = std::max(baseline_mean(), config_.min_baseline);
+  return short_mean() > config_.ratio_threshold * baseline;
+}
+
+void DriftDetector::acknowledge_retrain() {
+  history_.clear();
+  cooldown_left_ = config_.cooldown_rounds;
+}
+
+double DriftDetector::short_mean() const noexcept {
+  if (history_.empty()) {
+    return 0.0;
+  }
+  const std::size_t s = std::min(config_.short_window, history_.size());
+  return std::accumulate(history_.end() - static_cast<std::ptrdiff_t>(s),
+                         history_.end(), 0.0) /
+         static_cast<double>(s);
+}
+
+double DriftDetector::baseline_mean() const noexcept {
+  if (history_.size() <= config_.short_window) {
+    return 0.0;
+  }
+  const std::size_t b = history_.size() - config_.short_window;
+  return std::accumulate(history_.begin(),
+                         history_.begin() + static_cast<std::ptrdiff_t>(b),
+                         0.0) /
+         static_cast<double>(b);
+}
+
+// ------------------------------------------------------------ trainer --
+
+OnlineTrainer::OnlineTrainer(const OnlineTrainerConfig& config)
+    : config_(config),
+      replay_(config.replay_capacity),
+      detector_(config.drift),
+      rng_(config.seed) {
+  MFCP_CHECK(config_.retrain_epochs > 0, "retrain burst needs epochs");
+  MFCP_CHECK(config_.batch_size > 0, "batch size must be positive");
+}
+
+bool OnlineTrainer::observe_round(double error_stat,
+                                  core::PlatformPredictor& predictor) {
+  if (!detector_.observe(error_stat)) {
+    return false;
+  }
+  MFCP_LOG(kInfo) << "drift detected (short " << detector_.short_mean()
+                  << " vs baseline " << detector_.baseline_mean()
+                  << "), retraining on " << replay_.size() << " experiences";
+  retrain(predictor);
+  detector_.acknowledge_retrain();
+  return true;
+}
+
+void OnlineTrainer::retrain(core::PlatformPredictor& predictor) {
+  ++retrains_;
+  const std::size_t m = predictor.num_clusters();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto idx = replay_.indices_for_cluster(i);
+    if (idx.size() < config_.min_cluster_samples) {
+      continue;
+    }
+    auto& cluster = predictor.cluster(i);
+    nn::Adam time_opt(cluster.time_model().parameters(),
+                      config_.learning_rate);
+    nn::Adam rel_opt(cluster.reliability_model().parameters(),
+                     config_.learning_rate);
+    const std::size_t d = replay_.at(idx[0]).features.size();
+
+    for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+      // One minibatch per epoch, sampled uniformly with replacement from
+      // this cluster's experiences — the burst is short, so epochs act as
+      // SGD steps over the (small) replay population.
+      const std::size_t b = std::min(config_.batch_size, idx.size());
+      Matrix features(b, d);
+      Matrix t_target(b, 1);
+      Matrix a_target(b, 1);
+      for (std::size_t k = 0; k < b; ++k) {
+        const Experience& e =
+            replay_.at(idx[rng_.uniform_index(idx.size())]);
+        MFCP_CHECK(e.features.size() == d,
+                   "replay feature dimensions disagree");
+        for (std::size_t c = 0; c < d; ++c) {
+          features(k, c) = e.features[c];
+        }
+        t_target(k, 0) = e.observed_time;
+        a_target(k, 0) = e.observed_success;
+      }
+      {
+        nn::Variable in(features, /*requires_grad=*/false);
+        auto loss = nn::mse(cluster.forward_time(in), t_target);
+        time_opt.zero_grad();
+        loss.backward();
+        time_opt.step();
+      }
+      {
+        nn::Variable in(features, /*requires_grad=*/false);
+        auto loss = nn::mse(cluster.forward_reliability(in), a_target);
+        rel_opt.zero_grad();
+        loss.backward();
+        rel_opt.step();
+      }
+    }
+  }
+}
+
+}  // namespace mfcp::engine

@@ -1,0 +1,137 @@
+// Drift-aware online retraining for the platform predictors.
+//
+// Deployment feedback is partial: after a round runs, the engine observes
+// the execution time and success of each task ONLY on the cluster it was
+// assigned to (plus occasional full-row shadow profiles, see engine.hpp).
+// Those observations land in a bounded ReplayBuffer — a ring, so recent
+// experience gradually displaces stale pre-drift samples.
+//
+// Retraining is gated by a DriftDetector rather than run continuously:
+// fine-tuning on every round wastes compute in a stationary environment
+// and slowly erodes the decision-focused (MFCP) weights toward plain MSE.
+// The detector compares a short rolling window of per-round prediction
+// error against a longer baseline window; when the ratio trips, the
+// OnlineTrainer runs a burst of MSE fine-tuning over the replay buffer
+// (the standard "reactive retraining on detected drift" recipe, cf.
+// Predict-and-Critic's motivation in PAPERS.md).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mfcp/predictor.hpp"
+
+namespace mfcp::engine {
+
+/// One observed (z, cluster, t, success) outcome from a dispatched round.
+struct Experience {
+  std::vector<double> features;  // task embedding z
+  std::size_t cluster = 0;       // where it ran
+  double observed_time = 0.0;    // measured wall hours (noisy)
+  double observed_success = 1.0; // 1 = first attempt succeeded, else 0
+};
+
+/// Fixed-capacity ring buffer of experiences (oldest overwritten first).
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void add(Experience experience);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const Experience& at(std::size_t i) const;
+
+  /// Indices of the stored experiences that ran on cluster `i`.
+  [[nodiscard]] std::vector<std::size_t> indices_for_cluster(
+      std::size_t i) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring write cursor once full
+  std::vector<Experience> buffer_;
+};
+
+struct DriftConfig {
+  /// Rounds in the "recent" window whose mean error is tested.
+  std::size_t short_window = 6;
+  /// Rounds of history (beyond the short window) forming the baseline.
+  std::size_t long_window = 24;
+  /// Trip when short mean > ratio_threshold * baseline mean.
+  double ratio_threshold = 1.6;
+  /// Baseline floor: protects against spurious trips when the baseline
+  /// error is tiny (a well-calibrated predictor in a quiet environment).
+  double min_baseline = 0.05;
+  /// Rounds to wait after a retrain before the detector may trip again
+  /// (the replay buffer needs fresh post-retrain evidence).
+  std::size_t cooldown_rounds = 8;
+};
+
+/// Windowed mean-ratio drift test over a per-round error statistic.
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftConfig& config);
+
+  /// Feeds one round's error statistic; returns true when drift trips.
+  bool observe(double error_stat);
+
+  /// Called after a retrain: clears history (the predictor changed, old
+  /// errors no longer describe it) and starts the cooldown.
+  void acknowledge_retrain();
+
+  [[nodiscard]] double short_mean() const noexcept;
+  [[nodiscard]] double baseline_mean() const noexcept;
+
+ private:
+  DriftConfig config_;
+  std::deque<double> history_;  // newest at the back
+  std::size_t cooldown_left_ = 0;
+};
+
+struct OnlineTrainerConfig {
+  std::size_t replay_capacity = 512;
+  /// Fine-tune burst length (epochs over the replay buffer).
+  std::size_t retrain_epochs = 40;
+  std::size_t batch_size = 32;
+  double learning_rate = 5e-3;
+  /// Clusters with fewer stored experiences than this are skipped by a
+  /// burst (too little signal to move their predictors responsibly).
+  std::size_t min_cluster_samples = 8;
+  DriftConfig drift;
+  std::uint64_t seed = 0x0e11e7ULL;
+};
+
+/// Owns the replay buffer and drift detector; fine-tunes a
+/// core::PlatformPredictor in place when drift trips.
+class OnlineTrainer {
+ public:
+  explicit OnlineTrainer(const OnlineTrainerConfig& config);
+
+  void record(Experience experience) { replay_.add(std::move(experience)); }
+
+  /// Feeds the round's error statistic and, when the detector trips,
+  /// runs one fine-tune burst. Returns true iff a retrain happened.
+  bool observe_round(double error_stat, core::PlatformPredictor& predictor);
+
+  /// Unconditional fine-tune burst over the replay buffer.
+  void retrain(core::PlatformPredictor& predictor);
+
+  [[nodiscard]] const ReplayBuffer& replay() const noexcept {
+    return replay_;
+  }
+  [[nodiscard]] const DriftDetector& detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] std::size_t retrain_count() const noexcept {
+    return retrains_;
+  }
+
+ private:
+  OnlineTrainerConfig config_;
+  ReplayBuffer replay_;
+  DriftDetector detector_;
+  Rng rng_;
+  std::size_t retrains_ = 0;
+};
+
+}  // namespace mfcp::engine

@@ -1,0 +1,68 @@
+#include "engine/queue.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mfcp::engine {
+
+std::string to_string(DropPolicy policy) {
+  switch (policy) {
+    case DropPolicy::kRejectNewest:
+      return "reject-newest";
+    case DropPolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(const QueueConfig& config) : config_(config) {
+  MFCP_CHECK(config_.capacity > 0, "queue capacity must be positive");
+}
+
+bool AdmissionQueue::push(Arrival arrival) {
+  ++stats_.offered;
+  if (queue_.size() >= config_.capacity) {
+    if (config_.policy == DropPolicy::kRejectNewest) {
+      ++stats_.dropped_capacity;
+      return false;
+    }
+    queue_.pop_front();
+    ++stats_.dropped_capacity;
+  }
+  queue_.push_back(std::move(arrival));
+  ++stats_.admitted;
+  return true;
+}
+
+void AdmissionQueue::expire(double now) {
+  // FIFO admission does not imply FIFO deadlines (patience is uniform here
+  // but need not stay so), so scan the whole buffer.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline_hours < now) {
+      it = queue_.erase(it);
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Arrival> AdmissionQueue::pop_batch(std::size_t n) {
+  std::vector<Arrival> batch;
+  const std::size_t take = std::min(n, queue_.size());
+  batch.reserve(take);
+  for (std::size_t k = 0; k < take; ++k) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  stats_.dispatched += batch.size();
+  return batch;
+}
+
+double AdmissionQueue::oldest_arrival_time() const {
+  MFCP_CHECK(!queue_.empty(), "oldest_arrival_time on empty queue");
+  return queue_.front().time_hours;
+}
+
+}  // namespace mfcp::engine

@@ -1,0 +1,75 @@
+// Bounded admission queue between the arrival stream and the micro-batcher.
+//
+// A live platform cannot buffer unboundedly: beyond some depth, either the
+// newest submission is rejected at the door (backpressure to the client) or
+// the oldest waiting job is evicted to make room (freshness wins). Both
+// policies are explicit, and every drop is accounted — the engine exports
+// drop rate as a first-class metric alongside regret.
+//
+// Jobs also expire: an arrival whose deadline passes while it waits is
+// removed at round-formation time and counted separately from capacity
+// drops, so queueing delay and undercapacity are distinguishable in the
+// metrics CSV.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "engine/arrivals.hpp"
+
+namespace mfcp::engine {
+
+enum class DropPolicy : int {
+  kRejectNewest = 0,  // full queue bounces the incoming job
+  kDropOldest = 1,    // full queue evicts the head to admit the newcomer
+};
+
+std::string to_string(DropPolicy policy);
+
+struct QueueConfig {
+  std::size_t capacity = 64;
+  DropPolicy policy = DropPolicy::kRejectNewest;
+};
+
+/// Monotonic counters over the queue's lifetime.
+struct QueueStats {
+  std::size_t offered = 0;           // push attempts
+  std::size_t admitted = 0;          // accepted pushes
+  std::size_t dropped_capacity = 0;  // lost to the bounded buffer
+  std::size_t expired = 0;           // lost to their own deadline
+  std::size_t dispatched = 0;        // handed to a matching round
+
+  [[nodiscard]] std::size_t dropped_total() const noexcept {
+    return dropped_capacity + expired;
+  }
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const QueueConfig& config);
+
+  /// Admits (or drops, per policy) one arrival. Returns true if admitted.
+  bool push(Arrival arrival);
+
+  /// Removes and counts every waiting job whose deadline is before `now`.
+  void expire(double now);
+
+  /// Pops up to `n` jobs in FIFO order for a matching round.
+  std::vector<Arrival> pop_batch(std::size_t n);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  /// Arrival time of the head (oldest waiting) job. Requires !empty().
+  [[nodiscard]] double oldest_arrival_time() const;
+
+  [[nodiscard]] const QueueStats& stats() const noexcept { return stats_; }
+
+ private:
+  QueueConfig config_;
+  std::deque<Arrival> queue_;
+  QueueStats stats_;
+};
+
+}  // namespace mfcp::engine

@@ -52,6 +52,26 @@ ExecutionOutcome execute_assignment(const Platform& platform,
   return out;
 }
 
+ClusterProfile drift_profile(const ClusterProfile& profile,
+                             const ClusterDrift& drift) {
+  MFCP_CHECK(drift.time_scale > 0.0 && drift.law_param_scale > 0.0 &&
+                 drift.memory_scale > 0.0,
+             "drift scales must be positive");
+  ClusterProfile p = profile;
+  p.base_seconds_per_unit *= drift.time_scale;
+  p.law_param *= drift.law_param_scale;
+  p.reliability_base += drift.reliability_logit_shift;
+  p.memory_capacity_gb *= drift.memory_scale;
+  return p;
+}
+
+void apply_drift(Platform& platform, std::size_t index,
+                 const ClusterDrift& drift) {
+  const ClusterProfile drifted =
+      drift_profile(platform.cluster(index).profile(), drift);
+  platform.set_cluster(index, Cluster(drifted));
+}
+
 double empirical_reliability(const Cluster& cluster,
                              const TaskDescriptor& task, Rng& rng,
                              std::size_t runs) {

@@ -35,4 +35,27 @@ double empirical_reliability(const Cluster& cluster,
                              const TaskDescriptor& task, Rng& rng,
                              std::size_t runs);
 
+/// Environment drift: a persistent change to one cluster's hidden
+/// performance/reliability law (hardware swap, co-tenant load, degraded
+/// interconnect). Applied mid-run it invalidates whatever a predictor
+/// learned during profiling — the scenario online retraining exists for.
+struct ClusterDrift {
+  /// Multiplies base_seconds_per_unit (> 1 = slower hardware).
+  double time_scale = 1.0;
+  /// Multiplies the curvature of non-linear performance laws.
+  double law_param_scale = 1.0;
+  /// Added to the reliability base logit (< 0 = flakier cluster).
+  double reliability_logit_shift = 0.0;
+  /// Multiplies usable memory (< 1 moves the thrashing cliff left).
+  double memory_scale = 1.0;
+};
+
+/// The drifted profile (pure; callers re-wrap into a Cluster).
+ClusterProfile drift_profile(const ClusterProfile& profile,
+                             const ClusterDrift& drift);
+
+/// Applies the drift to cluster `index` of the platform in place.
+void apply_drift(Platform& platform, std::size_t index,
+                 const ClusterDrift& drift);
+
 }  // namespace mfcp::sim

@@ -32,6 +32,11 @@ const Cluster& Platform::cluster(std::size_t i) const {
   return clusters_[i];
 }
 
+void Platform::set_cluster(std::size_t i, Cluster cluster) {
+  MFCP_CHECK(i < clusters_.size(), "cluster index out of range");
+  clusters_[i] = std::move(cluster);
+}
+
 Matrix Platform::true_times(const std::vector<TaskDescriptor>& tasks) const {
   Matrix t(clusters_.size(), tasks.size());
   for (std::size_t i = 0; i < clusters_.size(); ++i) {

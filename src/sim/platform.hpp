@@ -32,6 +32,12 @@ class Platform {
     return clusters_;
   }
 
+  /// Swaps in a new cluster model at slot i. This is how environment
+  /// drift is injected mid-run (see sim/failure.hpp): third-party
+  /// clusters degrade, get re-provisioned, or change hardware under the
+  /// platform's feet, invalidating whatever the predictors learned.
+  void set_cluster(std::size_t i, Cluster cluster);
+
   /// Ground-truth execution time matrix T (M x N): T(i, j) = time of task j
   /// on cluster i.
   [[nodiscard]] Matrix true_times(

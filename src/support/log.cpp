@@ -1,14 +1,26 @@
 #include "support/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace mfcp {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int initial_level() {
+  const char* env = std::getenv("MFCP_LOG_LEVEL");
+  if (env == nullptr) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  return static_cast<int>(parse_log_level(env, LogLevel::kWarn));
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -25,6 +37,20 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 }  // namespace
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string lower(text.size(), '\0');
+  std::transform(text.begin(), text.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
 
 LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));

@@ -3,6 +3,13 @@
 // Deliberately tiny: a process-wide level, timestamped lines to stderr,
 // and zero cost below the active level. Libraries log sparingly (solver
 // non-convergence, B&B budget exhaustion); harnesses log progress.
+//
+// The initial level is kWarn unless the MFCP_LOG_LEVEL environment
+// variable overrides it, so harnesses and the online engine can raise
+// verbosity without recompiling:
+//   MFCP_LOG_LEVEL=debug|info|warn|error   (case-insensitive), or
+//   MFCP_LOG_LEVEL=0..3                    (numeric LogLevel value).
+// Unrecognized values are ignored; set_log_level() always wins afterwards.
 #pragma once
 
 #include <sstream>
@@ -12,9 +19,15 @@ namespace mfcp {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Process-wide minimum level (default kWarn: libraries stay quiet).
+/// Process-wide minimum level (default kWarn: libraries stay quiet;
+/// see MFCP_LOG_LEVEL above for the environment override).
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Parses a MFCP_LOG_LEVEL-style string ("debug", "INFO", "2", ...).
+/// Returns fallback when the text matches no level.
+LogLevel parse_log_level(const std::string& text,
+                         LogLevel fallback = LogLevel::kWarn);
 
 /// Emits one timestamped line to stderr if `level` passes the filter.
 void log_message(LogLevel level, const std::string& message);

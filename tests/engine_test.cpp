@@ -1,0 +1,445 @@
+// Tests for the online platform engine: deterministic arrival replay,
+// queue backpressure and expiry accounting, size-vs-timeout round
+// triggering, drift detection, checkpoint round-trips, and whole-engine
+// determinism under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "engine/engine.hpp"
+#include "nn/serialize.hpp"
+#include "support/check.hpp"
+
+namespace mfcp::engine {
+namespace {
+
+Arrival make_arrival(std::size_t id, double time, double deadline) {
+  Arrival a;
+  a.id = id;
+  a.time_hours = time;
+  a.deadline_hours = deadline;
+  return a;
+}
+
+// ------------------------------------------------------------- arrivals --
+
+TEST(Arrivals, DeterministicReplayUnderFixedSeed) {
+  ArrivalConfig cfg;
+  cfg.rate_per_hour = 50.0;
+  cfg.burst_factor = 3.0;
+  cfg.burst_period_hours = 1.0;
+  cfg.max_arrivals = 64;
+  cfg.seed = 1234;
+
+  ArrivalProcess a(cfg);
+  ArrivalProcess b(cfg);
+  for (std::size_t k = 0; k < cfg.max_arrivals; ++k) {
+    const auto x = a.next();
+    const auto y = b.next();
+    ASSERT_TRUE(x.has_value());
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x->id, y->id);
+    EXPECT_EQ(x->time_hours, y->time_hours);  // bit-identical, not approx
+    EXPECT_EQ(x->deadline_hours, y->deadline_hours);
+    EXPECT_EQ(x->task.workload(), y->task.workload());
+    EXPECT_EQ(x->task.family, y->task.family);
+  }
+  EXPECT_FALSE(a.next().has_value());
+  EXPECT_TRUE(a.exhausted());
+}
+
+TEST(Arrivals, DifferentSeedsProduceDifferentStreams) {
+  ArrivalConfig cfg;
+  cfg.max_arrivals = 8;
+  cfg.seed = 1;
+  ArrivalProcess a(cfg);
+  cfg.seed = 2;
+  ArrivalProcess b(cfg);
+  bool any_different = false;
+  for (std::size_t k = 0; k < cfg.max_arrivals; ++k) {
+    if (a.next()->time_hours != b.next()->time_hours) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Arrivals, TimesIncreaseAndMeanRateRoughlyMatches) {
+  ArrivalConfig cfg;
+  cfg.rate_per_hour = 100.0;
+  cfg.max_arrivals = 400;
+  cfg.seed = 7;
+  ArrivalProcess p(cfg);
+  double prev = 0.0;
+  double last = 0.0;
+  while (auto a = p.next()) {
+    EXPECT_GT(a->time_hours, prev);
+    EXPECT_EQ(a->deadline_hours, a->time_hours + cfg.deadline_hours);
+    prev = a->time_hours;
+    last = a->time_hours;
+  }
+  // 400 arrivals at 100/h should take ~4 simulated hours.
+  EXPECT_NEAR(last, 4.0, 1.0);
+}
+
+TEST(Arrivals, BurstsRaiseTheInstantaneousRate) {
+  ArrivalConfig cfg;
+  cfg.rate_per_hour = 10.0;
+  cfg.burst_factor = 4.0;
+  cfg.burst_period_hours = 2.0;
+  cfg.burst_duty = 0.5;
+  EXPECT_EQ(cfg.rate_at(0.1), 40.0);   // inside the burst window
+  EXPECT_EQ(cfg.rate_at(1.5), 10.0);   // outside
+  EXPECT_EQ(cfg.rate_at(2.3), 40.0);   // next cycle's burst
+}
+
+// ---------------------------------------------------------------- queue --
+
+TEST(Queue, RejectNewestBackpressureAccounting) {
+  QueueConfig cfg;
+  cfg.capacity = 4;
+  cfg.policy = DropPolicy::kRejectNewest;
+  AdmissionQueue q(cfg);
+  for (std::size_t k = 0; k < 6; ++k) {
+    q.push(make_arrival(k, 0.1 * static_cast<double>(k), 10.0));
+  }
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.stats().offered, 6u);
+  EXPECT_EQ(q.stats().admitted, 4u);
+  EXPECT_EQ(q.stats().dropped_capacity, 2u);
+  // FIFO: the oldest admitted job is still at the head.
+  EXPECT_EQ(q.oldest_arrival_time(), 0.0);
+  const auto batch = q.pop_batch(10);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(batch[3].id, 3u);
+  EXPECT_EQ(q.stats().dispatched, 4u);
+}
+
+TEST(Queue, DropOldestKeepsTheFreshestJobs) {
+  QueueConfig cfg;
+  cfg.capacity = 3;
+  cfg.policy = DropPolicy::kDropOldest;
+  AdmissionQueue q(cfg);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_TRUE(q.push(make_arrival(k, static_cast<double>(k), 10.0)));
+  }
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.stats().dropped_capacity, 2u);
+  const auto batch = q.pop_batch(3);
+  EXPECT_EQ(batch[0].id, 2u);
+  EXPECT_EQ(batch[2].id, 4u);
+}
+
+TEST(Queue, ExpiryIsCountedSeparatelyFromCapacityDrops) {
+  AdmissionQueue q(QueueConfig{});
+  q.push(make_arrival(0, 0.0, /*deadline=*/0.5));
+  q.push(make_arrival(1, 0.0, /*deadline=*/2.0));
+  q.expire(1.0);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.stats().expired, 1u);
+  EXPECT_EQ(q.stats().dropped_capacity, 0u);
+  EXPECT_EQ(q.pop_batch(4)[0].id, 1u);
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST(Batcher, SizeTriggerFiresAtMaxBatch) {
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_hours = 1.0;
+  MicroBatcher b(cfg);
+  EXPECT_FALSE(b.should_fire(3, 0.0, 0.5));
+  EXPECT_TRUE(b.should_fire(4, 0.0, 0.5));
+  EXPECT_EQ(b.classify(4, 0.0, 0.5), RoundTrigger::kSize);
+}
+
+TEST(Batcher, TimeoutTriggerFiresWhenTheHeadWaitedLongEnough) {
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_hours = 0.25;
+  MicroBatcher b(cfg);
+  EXPECT_FALSE(b.should_fire(2, 1.0, 1.2));
+  EXPECT_TRUE(b.should_fire(2, 1.0, 1.25));
+  EXPECT_EQ(b.classify(2, 1.0, 1.3), RoundTrigger::kTimeout);
+  EXPECT_EQ(b.timeout_at(1.0), 1.25);
+}
+
+TEST(Batcher, EmptyQueueNeverFires) {
+  MicroBatcher b(BatcherConfig{});
+  EXPECT_FALSE(b.should_fire(0, 0.0, 100.0));
+}
+
+// ---------------------------------------------------------- replay/drift --
+
+TEST(Replay, RingOverwritesOldestBeyondCapacity) {
+  ReplayBuffer buf(3);
+  for (std::size_t k = 0; k < 5; ++k) {
+    Experience e;
+    e.cluster = k % 2;
+    e.observed_time = static_cast<double>(k);
+    buf.add(std::move(e));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  double newest = 0.0;
+  for (std::size_t k = 0; k < buf.size(); ++k) {
+    newest = std::max(newest, buf.at(k).observed_time);
+    EXPECT_GE(buf.at(k).observed_time, 2.0);  // 0 and 1 were evicted
+  }
+  EXPECT_EQ(newest, 4.0);
+  EXPECT_EQ(buf.indices_for_cluster(0).size() +
+                buf.indices_for_cluster(1).size(),
+            3u);
+}
+
+TEST(Drift, TripsOnSustainedErrorJumpAndRespectsCooldown) {
+  DriftConfig cfg;
+  cfg.short_window = 3;
+  cfg.long_window = 6;
+  cfg.ratio_threshold = 2.0;
+  cfg.min_baseline = 0.01;
+  cfg.cooldown_rounds = 4;
+  DriftDetector det(cfg);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_FALSE(det.observe(0.1));  // quiet baseline
+  }
+  // A mild bump dilutes into the short-window mean without tripping...
+  EXPECT_FALSE(det.observe(0.3));
+  // ...a real jump pushes the window mean past ratio * baseline.
+  EXPECT_TRUE(det.observe(1.0));
+  det.acknowledge_retrain();
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_FALSE(det.observe(1.0));  // cooldown swallows these
+  }
+}
+
+// ------------------------------------------------------ engine fixtures --
+
+struct EngineFixture {
+  sim::Platform platform;
+  sim::PseudoGnnEmbedder embedder;
+  core::PlatformPredictor predictor;
+
+  explicit EngineFixture(std::uint64_t seed = 99)
+      : platform(sim::Platform::make_setting(sim::Setting::kA, 3)),
+        embedder(),
+        predictor(3, small_predictor(), rng_for(seed)) {}
+
+  static core::PredictorConfig small_predictor() {
+    core::PredictorConfig cfg;
+    cfg.hidden = {8};
+    return cfg;
+  }
+  static Rng& rng_for(std::uint64_t seed) {
+    static Rng rng(0);
+    rng = Rng(seed);
+    return rng;
+  }
+};
+
+EngineConfig small_engine_config() {
+  EngineConfig cfg;
+  cfg.arrivals.rate_per_hour = 60.0;
+  cfg.arrivals.max_arrivals = 60;
+  cfg.arrivals.seed = 555;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait_hours = 0.2;
+  cfg.gamma = 0.6;
+  cfg.metrics_window = 5;
+  cfg.online_retraining = false;
+  // Keep rounds cheap: fewer solver iterations than the deployment default.
+  cfg.eval.solver.max_iterations = 150;
+  return cfg;
+}
+
+TEST(Engine, DeterministicRunUnderFixedSeed) {
+  EngineFixture fa;
+  EngineFixture fb;
+  OnlineEngine ea(small_engine_config(), fa.platform, fa.embedder,
+                  fa.predictor);
+  OnlineEngine eb(small_engine_config(), fb.platform, fb.embedder,
+                  fb.predictor);
+  const EngineResult ra = ea.run();
+  const EngineResult rb = eb.run();
+
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  ASSERT_GT(ra.rounds.size(), 0u);
+  for (std::size_t k = 0; k < ra.rounds.size(); ++k) {
+    EXPECT_EQ(ra.rounds[k].close_hours, rb.rounds[k].close_hours);
+    EXPECT_EQ(ra.rounds[k].batch, rb.rounds[k].batch);
+    EXPECT_EQ(ra.rounds[k].trigger, rb.rounds[k].trigger);
+    EXPECT_EQ(ra.rounds[k].regret, rb.rounds[k].regret);
+    EXPECT_EQ(ra.rounds[k].reliability, rb.rounds[k].reliability);
+    EXPECT_EQ(ra.rounds[k].drift_stat, rb.rounds[k].drift_stat);
+  }
+  EXPECT_EQ(ra.counters, rb.counters);
+}
+
+TEST(Engine, SizeAndTimeoutTriggersBothOccur) {
+  // Bursty arrivals against a small batch: bursts close size rounds, the
+  // quiet phase leaves partial batches that time out.
+  EngineFixture f;
+  EngineConfig cfg = small_engine_config();
+  // Off-burst interarrival (1/6 h) exceeds max_wait (0.2 h), so quiet
+  // phases time out; 10x bursts fill whole batches.
+  cfg.arrivals.rate_per_hour = 6.0;
+  cfg.arrivals.burst_factor = 10.0;
+  cfg.arrivals.burst_period_hours = 1.0;
+  cfg.arrivals.burst_duty = 0.3;
+  cfg.arrivals.max_arrivals = 80;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+
+  std::size_t size_rounds = 0;
+  std::size_t timeout_rounds = 0;
+  for (const auto& r : result.rounds) {
+    if (r.trigger == RoundTrigger::kSize) {
+      ++size_rounds;
+      EXPECT_EQ(r.batch, cfg.batcher.max_batch);
+    }
+    if (r.trigger == RoundTrigger::kTimeout) {
+      ++timeout_rounds;
+      EXPECT_LT(r.batch, cfg.batcher.max_batch);
+    }
+  }
+  EXPECT_GT(size_rounds, 0u);
+  EXPECT_GT(timeout_rounds, 0u);
+}
+
+TEST(Engine, EveryArrivalIsAccountedFor) {
+  EngineFixture f;
+  EngineConfig cfg = small_engine_config();
+  cfg.queue.capacity = 6;  // tight: force capacity drops under bursts
+  cfg.arrivals.burst_factor = 6.0;
+  cfg.arrivals.burst_period_hours = 0.5;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+
+  EXPECT_EQ(result.counters.arrivals, cfg.arrivals.max_arrivals);
+  EXPECT_EQ(result.queue.offered, cfg.arrivals.max_arrivals);
+  // Conservation: everything offered was dispatched, dropped, or expired.
+  EXPECT_EQ(result.queue.dispatched + result.queue.dropped_capacity +
+                result.queue.expired,
+            result.queue.offered);
+  std::size_t matched = 0;
+  for (const auto& r : result.rounds) {
+    matched += r.batch;
+  }
+  EXPECT_EQ(matched, result.queue.dispatched);
+}
+
+TEST(Engine, DriftEventChangesThePlatformMidRun) {
+  EngineFixture f;
+  EngineConfig cfg = small_engine_config();
+  DriftEventSpec drift;
+  drift.at_hours = 0.3;
+  drift.cluster = 1;
+  drift.drift.time_scale = 5.0;
+  cfg.drift_events.push_back(drift);
+
+  const double before =
+      f.platform.cluster(1).profile().base_seconds_per_unit;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  (void)eng.run();
+  EXPECT_NEAR(eng.platform().cluster(1).profile().base_seconds_per_unit,
+              5.0 * before, 1e-12);
+  // The engine's copy drifted; the caller's platform is untouched.
+  EXPECT_EQ(f.platform.cluster(1).profile().base_seconds_per_unit, before);
+}
+
+TEST(Engine, CheckpointRestoreRoundTripsWeightsBitExactly) {
+  EngineFixture fa(123);
+  EngineConfig cfg = small_engine_config();
+  cfg.online_retraining = true;
+  cfg.trainer.retrain_epochs = 5;
+  cfg.trainer.drift.ratio_threshold = 1.1;  // make retrains likely
+  OnlineEngine eng(cfg, fa.platform, fa.embedder, fa.predictor);
+  (void)eng.run();
+
+  const std::string path = ::testing::TempDir() + "engine_ckpt_test.txt";
+  eng.checkpoint(path);
+
+  // Restore into a predictor with different (freshly initialized) weights.
+  EngineFixture fb(456);
+  OnlineEngine eng2(small_engine_config(), fb.platform, fb.embedder,
+                    fb.predictor);
+  eng2.restore(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(eng2.counters(), eng.counters());
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto pa = fa.predictor.cluster(i).time_model().parameters();
+    auto pb = fb.predictor.cluster(i).time_model().parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      const auto& va = pa[p].value();
+      const auto& vb = pb[p].value();
+      ASSERT_EQ(va.size(), vb.size());
+      for (std::size_t x = 0; x < va.size(); ++x) {
+        EXPECT_EQ(va[x], vb[x]);  // bit-identical
+      }
+    }
+    auto ra = fa.predictor.cluster(i).reliability_model().parameters();
+    auto rb = fb.predictor.cluster(i).reliability_model().parameters();
+    for (std::size_t p = 0; p < ra.size(); ++p) {
+      for (std::size_t x = 0; x < ra[p].value().size(); ++x) {
+        EXPECT_EQ(ra[p].value()[x], rb[p].value()[x]);
+      }
+    }
+  }
+}
+
+TEST(Engine, CheckpointRejectsMismatchedArchitecture) {
+  EngineFixture f;
+  OnlineEngine eng(small_engine_config(), f.platform, f.embedder,
+                   f.predictor);
+  std::stringstream buf;
+  save_checkpoint(buf, f.predictor, eng.counters());
+
+  Rng rng(7);
+  core::PredictorConfig other;
+  other.hidden = {16, 16};
+  core::PlatformPredictor wrong(3, other, rng);
+  EXPECT_THROW(load_checkpoint(buf, wrong), ContractError);
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, ResetClearsAndMergeFoldsWindows) {
+  core::MatchOutcome o1;
+  o1.regret = 1.0;
+  o1.reliability = 0.8;
+  o1.utilization = 0.5;
+  o1.feasible = true;
+  core::MatchOutcome o2 = o1;
+  o2.regret = 3.0;
+  o2.feasible = false;
+
+  core::MetricsAccumulator window;
+  window.add(o1);
+  window.add(o2);
+
+  core::MetricsAccumulator total;
+  total.merge(window);
+  window.reset();
+  EXPECT_EQ(window.rounds(), 0u);
+  EXPECT_EQ(total.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(total.regret().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(total.feasible_fraction(), 0.5);
+
+  window.add(o1);
+  total.merge(window);
+  EXPECT_EQ(total.rounds(), 3u);
+
+  // Merging windows equals adding every outcome directly.
+  core::MetricsAccumulator direct;
+  direct.add(o1);
+  direct.add(o2);
+  direct.add(o1);
+  EXPECT_DOUBLE_EQ(total.regret().mean(), direct.regret().mean());
+  EXPECT_DOUBLE_EQ(total.regret().stddev(), direct.regret().stddev());
+}
+
+}  // namespace
+}  // namespace mfcp::engine
