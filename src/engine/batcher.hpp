@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace mfcp::engine {
 
 enum class RoundTrigger : int { kSize = 0, kTimeout = 1, kFlush = 2 };
@@ -30,6 +32,14 @@ struct BatcherConfig {
 class MicroBatcher {
  public:
   explicit MicroBatcher(const BatcherConfig& config);
+
+  /// Optional telemetry: per-trigger round counters and a batch-size
+  /// histogram (`mfcp_engine_rounds_total`, `mfcp_engine_batch_size`).
+  /// Null disables (default).
+  void bind_metrics(obs::MetricsRegistry* registry);
+
+  /// Records one closed round into the bound metrics (no-op when off).
+  void record_round(RoundTrigger trigger, std::size_t batch_size) noexcept;
 
   [[nodiscard]] const BatcherConfig& config() const noexcept {
     return config_;
@@ -52,7 +62,14 @@ class MicroBatcher {
                                       double now) const noexcept;
 
  private:
+  /// Cached registry handles (null when telemetry is off).
+  struct Telemetry {
+    obs::Counter* rounds[3] = {nullptr, nullptr, nullptr};  // by trigger
+    obs::Histogram* batch_size = nullptr;
+  };
+
   BatcherConfig config_;
+  Telemetry telemetry_;
 };
 
 }  // namespace mfcp::engine

@@ -37,6 +37,58 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
             [](const DriftEventSpec& a, const DriftEventSpec& b) {
               return a.at_hours < b.at_hours;
             });
+  bind_metrics();
+}
+
+void OnlineEngine::bind_metrics() {
+  queue_.bind_metrics(config_.registry);
+  batcher_.bind_metrics(config_.registry);
+  trainer_.bind_metrics(config_.registry);
+  if (config_.registry == nullptr) {
+    return;
+  }
+  obs::MetricsRegistry& reg = *config_.registry;
+  const auto stage = [&reg](const char* name) {
+    return &reg.histogram(
+        std::string("mfcp_engine_stage_seconds{stage=\"") + name + "\"}",
+        obs::default_time_bounds());
+  };
+  telemetry_.embed = stage("embed");
+  telemetry_.predict = stage("predict");
+  telemetry_.match = stage("match");
+  telemetry_.dispatch = stage("dispatch");
+  // Queue waits live on the simulated clock (hours), not the wall clock;
+  // bounds follow typical max_wait_hours/deadline configurations.
+  static constexpr double kWaitBounds[] = {0.01, 0.025, 0.05,  0.1, 0.25,
+                                           0.5,  1.0,   2.0,   4.0};
+  telemetry_.queue_wait_hours =
+      &reg.histogram("mfcp_engine_queue_wait_hours", kWaitBounds);
+  telemetry_.tasks_matched = &reg.counter("mfcp_engine_tasks_matched_total");
+  telemetry_.retrains = &reg.counter("mfcp_engine_retrains_total");
+  telemetry_.sim_time = &reg.gauge("mfcp_engine_sim_time_hours");
+}
+
+void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
+                          std::string_view label) {
+  if (!label.empty()) {
+    journal.field("mode", label);
+  }
+  journal.field("round", static_cast<std::uint64_t>(rec.round))
+      .field("close_hours", rec.close_hours)
+      .field("trigger", to_string(rec.trigger))
+      .field("batch", static_cast<std::uint64_t>(rec.batch))
+      .field("queue_depth", static_cast<std::uint64_t>(rec.queue_depth))
+      .field("dropped_total", static_cast<std::uint64_t>(rec.dropped_total))
+      .field("max_wait_hours", rec.max_wait_hours)
+      .field("regret", rec.regret)
+      .field("rolling_regret", rec.rolling_regret)
+      .field("reliability", rec.reliability)
+      .field("utilization", rec.utilization)
+      .field("makespan", rec.makespan)
+      .field("drift_stat", rec.drift_stat)
+      .field("retrained", rec.retrained)
+      .field("retrain_total", static_cast<std::uint64_t>(rec.retrain_total));
+  journal.end_record();
 }
 
 void OnlineEngine::advance_clock(double to_hours) {
@@ -95,6 +147,9 @@ EngineResult OnlineEngine::run() {
       result.windows.push_back(WindowSummary{rec.round, window});
       result.total.merge(window);
       window.reset();
+    }
+    if (config_.journal != nullptr) {
+      append_round_journal(*config_.journal, rec);
     }
     result.rounds.push_back(rec);
   };
@@ -157,9 +212,17 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   double max_wait = 0.0;
   for (const Arrival& a : batch) {
     tasks.push_back(a.task);
-    max_wait = std::max(max_wait, clock_hours_ - a.time_hours);
+    const double wait = clock_hours_ - a.time_hours;
+    max_wait = std::max(max_wait, wait);
+    if (telemetry_.queue_wait_hours != nullptr) {
+      telemetry_.queue_wait_hours->observe(wait);
+    }
   }
+  batcher_.record_round(trigger, tasks.size());
+
+  obs::ScopedSpan embed_span(telemetry_.embed, "embed", config_.trace);
   const Matrix features = embedder_.embed_batch(tasks);
+  embed_span.stop();
 
   matching::MatchingProblem truth;
   truth.times = platform_.true_times(tasks);
@@ -167,14 +230,17 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   truth.gamma = config_.gamma;
   truth.speedup = config_.speedup;
 
+  obs::ScopedSpan predict_span(telemetry_.predict, "predict", config_.trace);
   const Matrix t_hat = predictor_.predict_time_matrix(features);
   const Matrix a_hat = predictor_.predict_reliability_matrix(features);
+  predict_span.stop();
   const matching::MatchingProblem predicted =
       truth.with_metrics(t_hat, a_hat);
 
   // Deployment solve and the same-operator reference solve (paper Eq. 6)
   // are independent; with a pool they run concurrently.
   Stopwatch solve_watch;
+  obs::ScopedSpan match_span(telemetry_.match, "match", config_.trace);
   matching::Assignment deployed;
   matching::Assignment reference;
   if (pool_ != nullptr) {
@@ -188,14 +254,18 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     deployed = core::deploy_matching(predicted, config_.eval);
     reference = core::deploy_matching(truth, config_.eval);
   }
+  match_span.stop();
   const double solve_seconds = solve_watch.seconds();
 
   const core::MatchOutcome outcome =
       core::evaluate_assignment(truth, deployed, reference);
 
   // Dispatch for real: sample success/failure on the assigned clusters.
+  obs::ScopedSpan dispatch_span(telemetry_.dispatch, "dispatch",
+                                config_.trace);
   const sim::ExecutionOutcome run = sim::execute_assignment(
       platform_, tasks, deployed, dispatch_rng_, /*max_attempts=*/2);
+  dispatch_span.stop();
 
   // Feedback: observed runtimes on assigned clusters (bandit feedback),
   // plus occasional shadow profiles of the full cluster column.
@@ -204,12 +274,10 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     const auto ci = static_cast<std::size_t>(deployed[j]);
     const double observed =
         platform_.cluster(ci).measure_time(tasks[j], dispatch_rng_);
-    // Normalise by the *predicted* time: under-prediction (the predictor
-    // thinks a degraded cluster is still fast) then grows without bound
-    // instead of saturating at 1, so sudden slowdowns stand out against
-    // the baseline noise.
-    error_sum += std::abs(t_hat(ci, j) - observed) /
-                 std::max(t_hat(ci, j), 0.05);
+    // Robust log-ratio error (see drift_error): symmetric in over- vs
+    // under-prediction and bounded for tiny predicted times, where the
+    // earlier |t̂−obs|/max(t̂, ε) form was heavy-tailed.
+    error_sum += drift_error(t_hat(ci, j), observed);
 
     Experience e;
     e.features.assign(features.row_span(j).begin(),
@@ -265,6 +333,13 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
 
   ++counters_.rounds;
   counters_.retrains = trainer_.retrain_count();
+  if (telemetry_.tasks_matched != nullptr) {
+    telemetry_.tasks_matched->add(tasks.size());
+    if (retrained) {
+      telemetry_.retrains->add(1);
+    }
+    telemetry_.sim_time->set(clock_hours_);
+  }
   return rec;
 }
 

@@ -28,6 +28,9 @@
 #include "engine/queue.hpp"
 #include "mfcp/metrics.hpp"
 #include "mfcp/regret.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/embedding.hpp"
 #include "sim/failure.hpp"
@@ -73,6 +76,18 @@ struct EngineConfig {
   /// Seeds dispatch/profiling randomness (arrival randomness is seeded by
   /// arrivals.seed; retraining by trainer.seed).
   std::uint64_t seed = 0xe61e0ULL;
+
+  /// Optional telemetry (all null by default = off, near-zero overhead):
+  /// `registry` receives per-stage latency histograms
+  /// (mfcp_engine_stage_seconds{stage=...}), queue/batcher/drift metrics,
+  /// and round counters; `trace` additionally retains the most recent
+  /// stage spans; `journal` receives one JSONL record per closed round
+  /// (deterministic fields only, in a stable order — two identical seeded
+  /// runs produce bit-identical journals). All are borrowed and must
+  /// outlive the engine.
+  obs::MetricsRegistry* registry = nullptr;
+  obs::TraceRing* trace = nullptr;
+  obs::JsonlWriter* journal = nullptr;
 };
 
 /// One closed matching round, as written to the metrics CSV.
@@ -94,6 +109,13 @@ struct RoundRecord {
   double rolling_regret = 0.0;   // mean over the trailing metrics window
   double solve_seconds = 0.0;    // wall clock (diagnostic, nondeterministic)
 };
+
+/// Appends `rec` to the JSONL round journal with a stable field order.
+/// Only deterministic fields are written — wall-clock solve_seconds stays
+/// out, so seeded runs journal bit-identically. `label` tags the run
+/// (e.g. "online" vs "frozen" in paired benchmarks); empty omits the tag.
+void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
+                          std::string_view label = {});
 
 /// Summary of one completed metrics window (every metrics_window rounds).
 struct WindowSummary {
@@ -140,6 +162,20 @@ class OnlineEngine {
  private:
   void advance_clock(double to_hours);
   RoundRecord run_round(RoundTrigger trigger);
+  void bind_metrics();
+
+  /// Cached registry handles for the round loop's own stages (the queue,
+  /// batcher, and trainer cache theirs in bind_metrics). Null when off.
+  struct Telemetry {
+    obs::Histogram* embed = nullptr;
+    obs::Histogram* predict = nullptr;
+    obs::Histogram* match = nullptr;
+    obs::Histogram* dispatch = nullptr;
+    obs::Histogram* queue_wait_hours = nullptr;  // simulated-time waits
+    obs::Counter* tasks_matched = nullptr;
+    obs::Counter* retrains = nullptr;
+    obs::Gauge* sim_time = nullptr;
+  };
 
   EngineConfig config_;
   sim::Platform platform_;
@@ -156,6 +192,7 @@ class OnlineEngine {
   double clock_hours_ = 0.0;
   std::size_t next_drift_ = 0;
   EngineCounters counters_;
+  Telemetry telemetry_;
   bool ran_ = false;
 };
 

@@ -1,14 +1,25 @@
 #include "engine/online_trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/span.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 
 namespace mfcp::engine {
+
+double drift_error(double predicted_time, double observed_time) noexcept {
+  // ε floors both sides so a zero prediction or observation stays finite;
+  // 0.05 simulated hours matches the floor the old relative-error form
+  // used, keeping the statistic scales comparable around typical tasks.
+  constexpr double kEps = 0.05;
+  return std::abs(std::log((observed_time + kEps) /
+                           (predicted_time + kEps)));
+}
 
 // ------------------------------------------------------------- replay --
 
@@ -51,7 +62,21 @@ DriftDetector::DriftDetector(const DriftConfig& config) : config_(config) {
              "drift ratio threshold must exceed 1");
 }
 
-bool DriftDetector::observe(double error_stat) {
+std::string to_string(DriftDecision decision) {
+  switch (decision) {
+    case DriftDecision::kQuiet:
+      return "quiet";
+    case DriftDecision::kWarmup:
+      return "warmup";
+    case DriftDecision::kCooldown:
+      return "cooldown";
+    case DriftDecision::kTrip:
+      return "trip";
+  }
+  return "?";
+}
+
+DriftDecision DriftDetector::evaluate(double error_stat) {
   history_.push_back(error_stat);
   const std::size_t keep = config_.short_window + config_.long_window;
   while (history_.size() > keep) {
@@ -59,14 +84,16 @@ bool DriftDetector::observe(double error_stat) {
   }
   if (cooldown_left_ > 0) {
     --cooldown_left_;
-    return false;
+    return DriftDecision::kCooldown;
   }
   // Need a full short window plus at least half a baseline to compare.
   if (history_.size() < config_.short_window + config_.long_window / 2) {
-    return false;
+    return DriftDecision::kWarmup;
   }
   const double baseline = std::max(baseline_mean(), config_.min_baseline);
-  return short_mean() > config_.ratio_threshold * baseline;
+  return short_mean() > config_.ratio_threshold * baseline
+             ? DriftDecision::kTrip
+             : DriftDecision::kQuiet;
 }
 
 void DriftDetector::acknowledge_retrain() {
@@ -106,15 +133,51 @@ OnlineTrainer::OnlineTrainer(const OnlineTrainerConfig& config)
   MFCP_CHECK(config_.batch_size > 0, "batch size must be positive");
 }
 
+void OnlineTrainer::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    telemetry_ = Telemetry{};
+    return;
+  }
+  telemetry_.drift_stat = &registry->gauge("mfcp_engine_drift_stat");
+  telemetry_.short_mean = &registry->gauge("mfcp_engine_drift_short_mean");
+  telemetry_.baseline_mean =
+      &registry->gauge("mfcp_engine_drift_baseline_mean");
+  for (int d = 0; d < 4; ++d) {
+    telemetry_.decisions[d] = &registry->counter(
+        "mfcp_engine_drift_decisions_total{decision=\"" +
+        to_string(static_cast<DriftDecision>(d)) + "\"}");
+  }
+  telemetry_.retrain_seconds = &registry->histogram(
+      "mfcp_engine_stage_seconds{stage=\"retrain\"}",
+      obs::default_time_bounds());
+}
+
 bool OnlineTrainer::observe_round(double error_stat,
                                   core::PlatformPredictor& predictor) {
-  if (!detector_.observe(error_stat)) {
+  const DriftDecision decision = detector_.evaluate(error_stat);
+  if (telemetry_.drift_stat != nullptr) {
+    telemetry_.drift_stat->set(error_stat);
+    telemetry_.short_mean->set(detector_.short_mean());
+    telemetry_.baseline_mean->set(detector_.baseline_mean());
+    telemetry_.decisions[static_cast<int>(decision)]->add(1);
+  }
+  if (decision != DriftDecision::kTrip) {
+    if (decision == DriftDecision::kCooldown) {
+      MFCP_LOG(kDebug) << "drift stat " << error_stat
+                       << " suppressed by retrain cooldown ("
+                       << detector_.cooldown_remaining()
+                       << " rounds remaining)";
+    }
     return false;
   }
-  MFCP_LOG(kInfo) << "drift detected (short " << detector_.short_mean()
-                  << " vs baseline " << detector_.baseline_mean()
-                  << "), retraining on " << replay_.size() << " experiences";
-  retrain(predictor);
+  MFCP_LOG(kInfo) << "drift detected (stat " << error_stat << ", short "
+                  << detector_.short_mean() << " vs baseline "
+                  << detector_.baseline_mean() << "), retraining on "
+                  << replay_.size() << " experiences";
+  {
+    obs::ScopedSpan span(telemetry_.retrain_seconds, "retrain");
+    retrain(predictor);
+  }
   detector_.acknowledge_retrain();
   return true;
 }

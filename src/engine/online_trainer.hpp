@@ -17,9 +17,11 @@
 #pragma once
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "mfcp/predictor.hpp"
+#include "obs/metrics.hpp"
 
 namespace mfcp::engine {
 
@@ -30,6 +32,15 @@ struct Experience {
   double observed_time = 0.0;    // measured wall hours (noisy)
   double observed_success = 1.0; // 1 = first attempt succeeded, else 0
 };
+
+/// Per-task prediction-error term of the drift statistic: the robust
+/// log-ratio |log((obs + ε) / (t̂ + ε))|. Symmetric in over- vs
+/// under-prediction on the log scale, and — unlike the earlier relative
+/// error |t̂ − obs| / max(t̂, ε), which is heavy-tailed when t̂ is tiny —
+/// bounded by |log(ε) − log(obs + ε)| however small the prediction gets.
+/// A k× hardware slowdown contributes ≈ log k regardless of task size.
+[[nodiscard]] double drift_error(double predicted_time,
+                                 double observed_time) noexcept;
 
 /// Fixed-capacity ring buffer of experiences (oldest overwritten first).
 class ReplayBuffer {
@@ -57,8 +68,12 @@ struct DriftConfig {
   std::size_t short_window = 6;
   /// Rounds of history (beyond the short window) forming the baseline.
   std::size_t long_window = 24;
-  /// Trip when short mean > ratio_threshold * baseline mean.
-  double ratio_threshold = 1.6;
+  /// Trip when short mean > ratio_threshold * baseline mean. Calibrated
+  /// for the log-ratio drift_error: a k× slowdown on a fraction f of the
+  /// batch lifts the short mean by only f·log k (the old relative-error
+  /// statistic inflated it by f·(k−1)), so trip ratios sit much closer
+  /// to 1 than they would on the linear scale.
+  double ratio_threshold = 1.3;
   /// Baseline floor: protects against spurious trips when the baseline
   /// error is tiny (a well-calibrated predictor in a quiet environment).
   double min_baseline = 0.05;
@@ -67,13 +82,29 @@ struct DriftConfig {
   std::size_t cooldown_rounds = 8;
 };
 
+/// Why a round's statistic did or did not trigger a retrain — the
+/// telemetry-facing refinement of the boolean observe() result.
+enum class DriftDecision : int {
+  kQuiet = 0,     // short-window mean below the trip threshold
+  kWarmup = 1,    // not enough history for a meaningful baseline yet
+  kCooldown = 2,  // would-be evaluation suppressed post-retrain
+  kTrip = 3,      // drift detected; retrain now
+};
+
+std::string to_string(DriftDecision decision);
+
 /// Windowed mean-ratio drift test over a per-round error statistic.
 class DriftDetector {
  public:
   explicit DriftDetector(const DriftConfig& config);
 
+  /// Feeds one round's error statistic; returns the full decision.
+  DriftDecision evaluate(double error_stat);
+
   /// Feeds one round's error statistic; returns true when drift trips.
-  bool observe(double error_stat);
+  bool observe(double error_stat) {
+    return evaluate(error_stat) == DriftDecision::kTrip;
+  }
 
   /// Called after a retrain: clears history (the predictor changed, old
   /// errors no longer describe it) and starts the cooldown.
@@ -81,6 +112,9 @@ class DriftDetector {
 
   [[nodiscard]] double short_mean() const noexcept;
   [[nodiscard]] double baseline_mean() const noexcept;
+  [[nodiscard]] std::size_t cooldown_remaining() const noexcept {
+    return cooldown_left_;
+  }
 
  private:
   DriftConfig config_;
@@ -107,6 +141,11 @@ class OnlineTrainer {
  public:
   explicit OnlineTrainer(const OnlineTrainerConfig& config);
 
+  /// Optional telemetry: records every drift decision (with the statistic
+  /// value that triggered or suppressed it) and retrain-burst wall time
+  /// into `registry`. Null (the default) disables the instrumentation.
+  void bind_metrics(obs::MetricsRegistry* registry);
+
   void record(Experience experience) { replay_.add(std::move(experience)); }
 
   /// Feeds the round's error statistic and, when the detector trips,
@@ -127,11 +166,21 @@ class OnlineTrainer {
   }
 
  private:
+  /// Cached registry handles (null when telemetry is off).
+  struct Telemetry {
+    obs::Gauge* drift_stat = nullptr;
+    obs::Gauge* short_mean = nullptr;
+    obs::Gauge* baseline_mean = nullptr;
+    obs::Counter* decisions[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Histogram* retrain_seconds = nullptr;
+  };
+
   OnlineTrainerConfig config_;
   ReplayBuffer replay_;
   DriftDetector detector_;
   Rng rng_;
   std::size_t retrains_ = 0;
+  Telemetry telemetry_;
 };
 
 }  // namespace mfcp::engine

@@ -20,18 +20,51 @@ AdmissionQueue::AdmissionQueue(const QueueConfig& config) : config_(config) {
   MFCP_CHECK(config_.capacity > 0, "queue capacity must be positive");
 }
 
+void AdmissionQueue::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    telemetry_ = Telemetry{};
+    return;
+  }
+  telemetry_.offered = &registry->counter("mfcp_queue_offered_total");
+  telemetry_.admitted = &registry->counter("mfcp_queue_admitted_total");
+  telemetry_.dropped_capacity =
+      &registry->counter("mfcp_queue_dropped_capacity_total");
+  telemetry_.expired = &registry->counter("mfcp_queue_expired_total");
+  telemetry_.dispatched = &registry->counter("mfcp_queue_dispatched_total");
+  telemetry_.depth = &registry->gauge("mfcp_queue_depth");
+}
+
+void AdmissionQueue::record_depth() noexcept {
+  if (telemetry_.depth != nullptr) {
+    telemetry_.depth->set(static_cast<double>(queue_.size()));
+  }
+}
+
 bool AdmissionQueue::push(Arrival arrival) {
   ++stats_.offered;
+  if (telemetry_.offered != nullptr) {
+    telemetry_.offered->add(1);
+  }
   if (queue_.size() >= config_.capacity) {
     if (config_.policy == DropPolicy::kRejectNewest) {
       ++stats_.dropped_capacity;
+      if (telemetry_.dropped_capacity != nullptr) {
+        telemetry_.dropped_capacity->add(1);
+      }
       return false;
     }
     queue_.pop_front();
     ++stats_.dropped_capacity;
+    if (telemetry_.dropped_capacity != nullptr) {
+      telemetry_.dropped_capacity->add(1);
+    }
   }
   queue_.push_back(std::move(arrival));
   ++stats_.admitted;
+  if (telemetry_.admitted != nullptr) {
+    telemetry_.admitted->add(1);
+  }
+  record_depth();
   return true;
 }
 
@@ -42,10 +75,14 @@ void AdmissionQueue::expire(double now) {
     if (it->deadline_hours < now) {
       it = queue_.erase(it);
       ++stats_.expired;
+      if (telemetry_.expired != nullptr) {
+        telemetry_.expired->add(1);
+      }
     } else {
       ++it;
     }
   }
+  record_depth();
 }
 
 std::vector<Arrival> AdmissionQueue::pop_batch(std::size_t n) {
@@ -57,6 +94,10 @@ std::vector<Arrival> AdmissionQueue::pop_batch(std::size_t n) {
     queue_.pop_front();
   }
   stats_.dispatched += batch.size();
+  if (telemetry_.dispatched != nullptr) {
+    telemetry_.dispatched->add(batch.size());
+  }
+  record_depth();
   return batch;
 }
 

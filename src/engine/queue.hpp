@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/arrivals.hpp"
+#include "obs/metrics.hpp"
 
 namespace mfcp::engine {
 
@@ -49,6 +50,10 @@ class AdmissionQueue {
  public:
   explicit AdmissionQueue(const QueueConfig& config);
 
+  /// Optional telemetry: mirrors the QueueStats counters and the live
+  /// depth into `registry` (`mfcp_queue_*`). Null disables (default).
+  void bind_metrics(obs::MetricsRegistry* registry);
+
   /// Admits (or drops, per policy) one arrival. Returns true if admitted.
   bool push(Arrival arrival);
 
@@ -67,9 +72,22 @@ class AdmissionQueue {
   [[nodiscard]] const QueueStats& stats() const noexcept { return stats_; }
 
  private:
+  void record_depth() noexcept;
+
+  /// Cached registry handles (null when telemetry is off).
+  struct Telemetry {
+    obs::Counter* offered = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* dropped_capacity = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* dispatched = nullptr;
+    obs::Gauge* depth = nullptr;
+  };
+
   QueueConfig config_;
   std::deque<Arrival> queue_;
   QueueStats stats_;
+  Telemetry telemetry_;
 };
 
 }  // namespace mfcp::engine

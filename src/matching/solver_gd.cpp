@@ -52,6 +52,7 @@ SolveResult solve_gd_from(const ContinuousObjective& objective, Matrix x0,
       best = x;
     }
     result.iterations = it + 1;
+    result.residual = delta;
     if (delta < config.tolerance) {
       result.converged = true;
       break;

@@ -23,6 +23,10 @@ struct SolveResult {
   double objective = 0.0;    // F at x
   std::size_t iterations = 0;
   bool converged = false;    // hit tolerance before the iteration cap
+  /// Final convergence residual: the quantity each solver tests against
+  /// its tolerance (mirror descent: simplex stationarity residual;
+  /// projected GD: inf-norm of the last iterate move).
+  double residual = 0.0;
 };
 
 /// Uniform relaxed start: every entry 1/M (center of the feasible set).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 
@@ -105,19 +106,36 @@ SolveResult solve_mirror_from(const ContinuousObjective& objective, Matrix x0,
     result.iterations = it + 1;
     // Checking the residual every iteration would double the gradient
     // evaluations; every 8th is enough for a stopping test.
-    if ((it & 7u) == 7u &&
-        stationarity_residual(objective, x, 1e-6) < config.tolerance) {
-      result.converged = true;
-      break;
+    if ((it & 7u) == 7u) {
+      result.residual = stationarity_residual(objective, x, 1e-6);
+      if (result.residual < config.tolerance) {
+        result.converged = true;
+        break;
+      }
     }
   }
   if (!result.converged) {
+    result.residual = stationarity_residual(objective, x, 1e-6);
     MFCP_LOG(kDebug) << "mirror descent hit the iteration cap ("
                      << config.max_iterations << "), residual "
-                     << stationarity_residual(objective, x, 1e-6);
+                     << result.residual;
   }
   result.objective = objective.value(x);
   result.x = std::move(x);
+
+  // Solver telemetry (iterations to converge, final residual) through the
+  // process-wide registry — the solver sits below the engine and cannot be
+  // handed one per call without threading a pointer through every trainer.
+  if (obs::MetricsRegistry* reg = obs::default_registry()) {
+    reg->counter("mfcp_matching_solves_total").add(1);
+    if (!result.converged) {
+      reg->counter("mfcp_matching_solver_capped_total").add(1);
+    }
+    reg->histogram("mfcp_matching_solver_iterations",
+                   obs::default_iteration_bounds())
+        .observe(static_cast<double>(result.iterations));
+    reg->gauge("mfcp_matching_solver_residual").set(result.residual);
+  }
   return result;
 }
 

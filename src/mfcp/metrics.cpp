@@ -29,6 +29,27 @@ double MetricsAccumulator::feasible_fraction() const noexcept {
   return static_cast<double>(feasible_) / static_cast<double>(rounds());
 }
 
+void MetricsAccumulator::to_registry(obs::MetricsRegistry& registry,
+                                     std::string_view prefix) const {
+  const auto expose = [&](std::string_view metric, const RunningStats& s) {
+    const std::string base =
+        std::string(prefix) + '_' + std::string(metric) + '_';
+    registry.gauge(base + "mean").set(s.mean());
+    registry.gauge(base + "stddev").set(s.stddev());
+    if (s.count() > 0) {
+      registry.gauge(base + "min").set(s.min());
+      registry.gauge(base + "max").set(s.max());
+    }
+  };
+  expose("regret", regret_);
+  expose("reliability", reliability_);
+  expose("utilization", utilization_);
+  registry.gauge(std::string(prefix) + "_rounds")
+      .set(static_cast<double>(rounds()));
+  registry.gauge(std::string(prefix) + "_feasible_fraction")
+      .set(feasible_fraction());
+}
+
 std::string MetricsAccumulator::summary(int precision) const {
   std::ostringstream os;
   os << "regret " << format_mean_std(regret_.mean(), regret_.stddev(),

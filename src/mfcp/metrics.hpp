@@ -4,6 +4,7 @@
 #include <string>
 
 #include "mfcp/regret.hpp"
+#include "obs/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace mfcp::core {
@@ -39,6 +40,14 @@ class MetricsAccumulator {
 
   /// "r ± s | rel ± s | util ± s" summary (debug/log aid).
   [[nodiscard]] std::string summary(int precision = 3) const;
+
+  /// Bridges the experiment-level metrics into an obs::MetricsRegistry so
+  /// regret/reliability/utilization appear in the same text exposition as
+  /// the engine's telemetry instead of living in a parallel struct. For
+  /// each metric this exports `<prefix>_<metric>_{mean,stddev,min,max}`
+  /// gauges, plus `<prefix>_rounds` and `<prefix>_feasible_fraction`.
+  void to_registry(obs::MetricsRegistry& registry,
+                   std::string_view prefix = "mfcp_eval") const;
 
  private:
   RunningStats regret_;

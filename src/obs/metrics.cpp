@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mfcp::obs {
+
+namespace {
+std::atomic<std::size_t> g_next_shard{0};
+std::atomic<MetricsRegistry*> g_default_registry{nullptr};
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  thread_local const std::size_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+// ------------------------------------------------------------- counter --
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& s : shards_) {
+    s.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------- histogram --
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()), shards_(kShards) {
+  MFCP_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  MFCP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end(),
+             "histogram bounds must be strictly increasing");
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket with v <= bound; overflow bucket otherwise.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = shards_[shard_index()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  double expected = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(expected, expected + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& b : s.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------ snapshot --
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const auto& p) { return p.first == name; });
+    if (it == counters.end()) {
+      counters.emplace_back(name, v);
+    } else {
+      it->second += v;
+    }
+  }
+  for (const auto& [name, v] : other.gauges) {
+    auto it = std::find_if(gauges.begin(), gauges.end(),
+                           [&](const auto& p) { return p.first == name; });
+    if (it == gauges.end()) {
+      gauges.emplace_back(name, v);
+    } else {
+      it->second = v;  // last writer wins
+    }
+  }
+  for (const HistogramSnapshot& h : other.histograms) {
+    auto it = std::find_if(
+        histograms.begin(), histograms.end(),
+        [&](const HistogramSnapshot& mine) { return mine.name == h.name; });
+    if (it == histograms.end()) {
+      histograms.push_back(h);
+      continue;
+    }
+    MFCP_CHECK(it->bounds == h.bounds,
+               "cannot merge histograms with different bucket bounds");
+    for (std::size_t b = 0; b < it->buckets.size(); ++b) {
+      it->buckets[b] += h.buckets[b];
+    }
+    it->sum += h.sum;
+    it->count += h.count;
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+}
+
+// ------------------------------------------------------------ registry --
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  } else {
+    MFCP_CHECK(std::equal(bounds.begin(), bounds.end(),
+                          it->second->bounds().begin(),
+                          it->second->bounds().end()),
+               "histogram re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.sum = h->sum();
+    hs.count = h->count();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+MetricsRegistry* default_registry() noexcept {
+  return g_default_registry.load(std::memory_order_acquire);
+}
+
+void set_default_registry(MetricsRegistry* registry) noexcept {
+  g_default_registry.store(registry, std::memory_order_release);
+}
+
+std::span<const double> default_time_bounds() noexcept {
+  static constexpr double kBounds[] = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+                                       1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,
+                                       10.0, 30.0};
+  return kBounds;
+}
+
+std::span<const double> default_iteration_bounds() noexcept {
+  static constexpr double kBounds[] = {10.0,  25.0,   50.0,   100.0,  250.0,
+                                       500.0, 1000.0, 2000.0, 4000.0, 8000.0};
+  return kBounds;
+}
+
+}  // namespace mfcp::obs

@@ -1,0 +1,216 @@
+#include "obs/sinks.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mfcp::obs {
+
+namespace {
+
+/// Splits `name` into its base metric name and an inline label set
+/// ("x{a=\"b\"}" -> {"x", "a=\"b\""}); labels are empty when absent.
+struct SplitName {
+  std::string_view base;
+  std::string_view labels;
+};
+
+SplitName split_name(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return {name, {}};
+  }
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string with_label(std::string_view name, std::string_view extra) {
+  const SplitName split = split_name(name);
+  std::string out(split.base);
+  out += '{';
+  if (!split.labels.empty()) {
+    out += split.labels;
+    out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bucket bounds are configured constants (0.1, 3e-05, ...), not measured
+/// values — render them with %g so `le` labels read naturally instead of
+/// exposing the nearest-double artifacts of %.17g.
+std::string format_bound(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void type_header(std::ostream& os, std::string_view name,
+                 const char* type, std::string& last_base) {
+  const std::string base(split_name(name).base);
+  if (base != last_base) {
+    os << "# TYPE " << base << ' ' << type << '\n';
+    last_base = base;
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    type_header(os, name, "counter", last_base);
+    os << name << ' ' << value << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    type_header(os, name, "gauge", last_base);
+    os << name << ' ' << format_double(value) << '\n';
+  }
+  last_base.clear();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    type_header(os, h.name, "histogram", last_base);
+    const SplitName split = split_name(h.name);
+    const std::string base(split.base);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b < h.bounds.size()
+              ? "le=\"" + format_bound(h.bounds[b]) + "\""
+              : std::string("le=\"+Inf\"");
+      std::string labeled = with_label(h.name, le);
+      // The bucket suffix goes on the base name, before the labels.
+      os << base << "_bucket"
+         << labeled.substr(base.size()) << ' ' << cumulative << '\n';
+    }
+    const std::string suffix =
+        split.labels.empty() ? std::string()
+                             : '{' + std::string(split.labels) + '}';
+    os << base << "_sum" << suffix << ' ' << format_double(h.sum) << '\n';
+    os << base << "_count" << suffix << ' ' << h.count << '\n';
+  }
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  write_prometheus(os, snapshot);
+  return os.str();
+}
+
+std::string json_number(double v) {
+  // JSON has no Inf/NaN literals; clamp to null (the journal never emits
+  // these for deterministic fields, but the writer must stay valid JSON).
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// --------------------------------------------------------------- jsonl --
+
+namespace {
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : owned_(path, std::ios::out | std::ios::trunc), os_(&owned_) {
+  MFCP_CHECK(owned_.is_open(), "cannot open JSONL journal for writing");
+}
+
+JsonlWriter::JsonlWriter(std::ostream& os) : os_(&os) {}
+
+void JsonlWriter::append_key(std::string_view key) {
+  line_ += in_record_ ? ',' : '{';
+  in_record_ = true;
+  line_ += '"';
+  append_escaped(line_, key);
+  line_ += "\":";
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::uint64_t v) {
+  append_key(key);
+  line_ += std::to_string(v);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::int64_t v) {
+  append_key(key);
+  line_ += std::to_string(v);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, double v) {
+  append_key(key);
+  line_ += json_number(v);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, bool v) {
+  append_key(key);
+  line_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::string_view v) {
+  append_key(key);
+  line_ += '"';
+  append_escaped(line_, v);
+  line_ += '"';
+  return *this;
+}
+
+void JsonlWriter::end_record() {
+  MFCP_CHECK(in_record_, "end_record with no fields written");
+  line_ += "}\n";
+  os_->write(line_.data(),
+             static_cast<std::streamsize>(line_.size()));
+  line_.clear();
+  in_record_ = false;
+  ++records_;
+}
+
+void JsonlWriter::flush() { os_->flush(); }
+
+}  // namespace mfcp::obs

@@ -1,0 +1,72 @@
+// Telemetry sinks: Prometheus-style text exposition and a JSONL writer.
+//
+// Exposition renders a RegistrySnapshot in the Prometheus text format
+// (name-sorted, `le` buckets cumulative, +Inf bucket explicit). Metric
+// names may carry a label set inline — `stage_seconds{stage="embed"}` —
+// in which case histogram suffixes splice their `le` label into the
+// existing braces and the `# TYPE` header uses the base name only.
+//
+// JsonlWriter emits one JSON object per record with the fields in exactly
+// the order the caller wrote them, and formats doubles with
+// max_digits10-equivalent precision (%.17g), so identical field sequences
+// produce byte-identical lines. That is the property the engine's round
+// journal builds on: two identical seeded runs must diff clean.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace mfcp::obs {
+
+/// Renders the snapshot in Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const RegistrySnapshot& snapshot);
+[[nodiscard]] std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+/// Formats a double the way the JSONL journal does (%.17g — value
+/// round-trips, identical doubles yield identical text).
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer of JSON-lines records; see file comment. Either owns
+/// the file it appends to or borrows a caller-supplied stream (tests).
+class JsonlWriter {
+ public:
+  /// Truncates and opens `path`. Throws ContractError when unwritable.
+  explicit JsonlWriter(const std::string& path);
+  /// Borrows `os` (kept alive by the caller).
+  explicit JsonlWriter(std::ostream& os);
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Appends one `"key":value` pair to the current record, preserving
+  /// call order. Keys and string values are escaped for JSON.
+  JsonlWriter& field(std::string_view key, std::uint64_t v);
+  JsonlWriter& field(std::string_view key, std::int64_t v);
+  JsonlWriter& field(std::string_view key, double v);
+  JsonlWriter& field(std::string_view key, bool v);
+  JsonlWriter& field(std::string_view key, std::string_view v);
+
+  /// Terminates the current record: writes the assembled line + '\n'.
+  void end_record();
+
+  void flush();
+
+  [[nodiscard]] std::size_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  void append_key(std::string_view key);
+
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::string line_;
+  bool in_record_ = false;
+  std::size_t records_ = 0;
+};
+
+}  // namespace mfcp::obs

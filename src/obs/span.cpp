@@ -1,0 +1,71 @@
+#include "obs/span.hpp"
+
+#include "support/check.hpp"
+
+namespace mfcp::obs {
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  MFCP_CHECK(capacity_ > 0, "trace ring capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+    return;
+  }
+  ring_[next_] = record;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: the ring rotates at `next_` once full.
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    out.push_back(ring_[(next_ + k) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::recorded() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void ScopedSpan::stop() noexcept {
+  if (done_ || (hist_ == nullptr && ring_ == nullptr)) {
+    done_ = true;
+    return;
+  }
+  done_ = true;
+  const Clock::time_point end = Clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
+  if (hist_ != nullptr) {
+    hist_->observe(static_cast<double>(ns.count()) * 1e-9);
+  }
+  if (ring_ != nullptr) {
+    SpanRecord rec;
+    rec.name = name_;
+    rec.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_.time_since_epoch())
+            .count());
+    rec.duration_ns = static_cast<std::uint64_t>(ns.count());
+    rec.thread = static_cast<std::uint32_t>(shard_index());
+    ring_->record(rec);
+  }
+}
+
+}  // namespace mfcp::obs

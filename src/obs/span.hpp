@@ -1,0 +1,87 @@
+// RAII span tracing for per-stage latency accounting.
+//
+// A ScopedSpan measures the wall time between its construction and its
+// destruction (or an explicit stop()) on the steady clock — the same
+// clock discipline as support/stopwatch — and records it twice:
+//   - into a Histogram (per-stage latency distribution, e.g.
+//     engine_stage_seconds{stage="embed"}), and
+//   - optionally into a bounded in-memory TraceRing of SpanRecords for
+//     after-the-fact inspection of the most recent activity.
+// Both sinks are optional pointers; when both are null the span never
+// reads the clock, so disabled instrumentation is a branch, not a syscall.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mfcp::obs {
+
+/// One completed span. `name` must point at a string with static storage
+/// duration (instrumentation sites use literals).
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t start_ns = 0;  // steady-clock nanoseconds since epoch
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  // obs::shard_index() of the recording thread
+};
+
+/// Fixed-capacity ring of the most recent spans. Mutex-protected: spans
+/// close at stage granularity (a handful per matching round), so
+/// contention is negligible next to the work being measured.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void record(const SpanRecord& record);
+
+  /// The retained spans, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total spans ever recorded (not capped at capacity).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;  // write cursor once full
+  std::uint64_t recorded_ = 0;
+};
+
+/// Scoped wall-time measurement; see file comment. Move-only is not
+/// needed — instrumentation sites construct it on the stack.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram* seconds_histogram, const char* name,
+             TraceRing* ring = nullptr) noexcept
+      : hist_(seconds_histogram), ring_(ring), name_(name) {
+    if (hist_ != nullptr || ring_ != nullptr) {
+      start_ = Clock::now();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { stop(); }
+
+  /// Ends the span early (idempotent; the destructor becomes a no-op).
+  void stop() noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* hist_;
+  TraceRing* ring_;
+  const char* name_;
+  Clock::time_point start_{};
+  bool done_ = false;
+};
+
+}  // namespace mfcp::obs

@@ -28,6 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -36,6 +37,10 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
+    }
+    if (obs::MetricsRegistry* reg = obs::default_registry()) {
+      reg->gauge("mfcp_pool_queue_depth").set(static_cast<double>(depth));
     }
     task();
   }

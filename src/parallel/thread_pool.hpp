@@ -9,6 +9,7 @@
 //  - the pool is an RAII type: destruction joins all workers.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -16,6 +17,9 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mfcp {
 
@@ -34,15 +38,54 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the future rethrows any exception the task threw.
+  ///
+  /// When obs::set_default_registry installed a registry, every task also
+  /// records its queue wait (submit -> first instruction) and run latency
+  /// into `mfcp_pool_queue_wait_seconds` / `mfcp_pool_task_seconds`, and
+  /// `mfcp_pool_queue_depth` tracks the backlog. With no registry (the
+  /// default) the instrumentation is a single null check.
+  ///
+  /// Lifetime: the instrumentation wraps the user function INSIDE the
+  /// packaged_task, so every registry touch happens strictly before the
+  /// task's future becomes ready — a caller that waits on its futures may
+  /// tear the registry down immediately afterwards.
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& fn) {
     using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    obs::MetricsRegistry* reg = obs::default_registry();
+    std::shared_ptr<std::packaged_task<R()>> task;
+    if (reg == nullptr) {
+      task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    } else {
+      // Histogram handles are resolved here, on the submitting thread, so
+      // the worker's hot path is two observes — no registry lookups.
+      obs::Histogram* wait_hist = &reg->histogram(
+          "mfcp_pool_queue_wait_seconds", obs::default_time_bounds());
+      obs::Histogram* task_hist = &reg->histogram(
+          "mfcp_pool_task_seconds", obs::default_time_bounds());
+      const auto enqueued = std::chrono::steady_clock::now();
+      task = std::make_shared<std::packaged_task<R()>>(
+          [fn = std::forward<F>(fn), wait_hist, task_hist,
+           enqueued]() mutable -> R {
+            const auto begun = std::chrono::steady_clock::now();
+            wait_hist->observe(
+                std::chrono::duration<double>(begun - enqueued).count());
+            // ScopedSpan records even when fn throws (the destructor runs
+            // during unwinding, before packaged_task stores the exception).
+            obs::ScopedSpan span(task_hist, "pool_task");
+            return fn();
+          });
+    }
     std::future<R> fut = task->get_future();
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
+      depth = queue_.size();
+    }
+    if (reg != nullptr) {
+      reg->counter("mfcp_pool_tasks_total").add(1);
+      reg->gauge("mfcp_pool_queue_depth").set(static_cast<double>(depth));
     }
     cv_.notify_one();
     return fut;

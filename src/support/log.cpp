@@ -6,7 +6,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 namespace mfcp {
 
@@ -21,7 +20,21 @@ int initial_level() {
 }
 
 std::atomic<int> g_level{initial_level()};
-std::mutex g_mutex;
+
+/// Monotonic origin for log timestamps: steady_clock at first use, so
+/// lines read as seconds-since-process-start and never jump with NTP.
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Compact per-thread id: threads number themselves 0, 1, 2, ... in first-
+/// log order, which is far easier to eyeball than std::thread::id hashes.
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -39,8 +52,19 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
-  std::string lower(text.size(), '\0');
-  std::transform(text.begin(), text.end(), lower.begin(), [](unsigned char c) {
+  // Tolerate surrounding whitespace ("info\n" from a config file), but
+  // nothing fancier — "1.5" or "warns" still falls back.
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = text.begin();
+  auto end = text.end();
+  while (begin != end && is_space(static_cast<unsigned char>(*begin))) {
+    ++begin;
+  }
+  while (end != begin && is_space(static_cast<unsigned char>(*(end - 1)))) {
+    --end;
+  }
+  std::string lower(static_cast<std::size_t>(end - begin), '\0');
+  std::transform(begin, end, lower.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
   if (lower == "debug" || lower == "0") return LogLevel::kDebug;
@@ -64,16 +88,23 @@ void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  const auto now = std::chrono::system_clock::now();
-  const auto secs =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          now.time_since_epoch())
-          .count();
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
-               static_cast<long long>(secs / 1000),
-               static_cast<long long>(secs % 1000), level_name(level),
-               message.c_str());
+  const auto elapsed = std::chrono::steady_clock::now() - log_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  // One formatted buffer, one write: concurrent loggers may reorder whole
+  // lines but can never interleave within one (no mutex needed — POSIX
+  // fwrite is itself atomic per call on a line-buffered stderr).
+  char prefix[64];
+  const int n = std::snprintf(prefix, sizeof(prefix), "[%7lld.%03lld T%d %s] ",
+                              static_cast<long long>(ms / 1000),
+                              static_cast<long long>(ms % 1000),
+                              thread_ordinal(), level_name(level));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line.append(message);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace mfcp

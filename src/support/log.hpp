@@ -4,6 +4,11 @@
 // and zero cost below the active level. Libraries log sparingly (solver
 // non-convergence, B&B budget exhaustion); harnesses log progress.
 //
+// Each line is prefixed with a monotonic timestamp (seconds since the
+// first log call, immune to wall-clock jumps) and a compact per-thread
+// ordinal (T0, T1, ...), and is emitted as a single formatted write so
+// concurrent loggers never interleave within a line.
+//
 // The initial level is kWarn unless the MFCP_LOG_LEVEL environment
 // variable overrides it, so harnesses and the online engine can raise
 // verbosity without recompiling:

@@ -1,0 +1,328 @@
+// Tests for the observability subsystem: metrics registry (including the
+// sharded counters/histograms under real thread contention), snapshot
+// merging, Prometheus exposition, the JSONL writer's byte-stability, and
+// span tracing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+
+namespace mfcp::obs {
+namespace {
+
+// ----------------------------------------------------------- counters --
+
+TEST(Counter, ConcurrentAddsEqualSerialTotal) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammered");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddWithArgumentAndReset) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("steps");
+  counter.add(5);
+  counter.add();  // default increment
+  EXPECT_EQ(counter.value(), 6u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+// ------------------------------------------------------------- gauges --
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("drift");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(1.25);
+  gauge.set(-3.5);
+  EXPECT_EQ(gauge.value(), -3.5);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+// --------------------------------------------------------- histograms --
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0, 2.0, 4.0};
+  Histogram& hist = registry.histogram("edges", kBounds);
+
+  hist.observe(1.0);  // == first bound: first bucket (le semantics)
+  hist.observe(std::nextafter(1.0, 2.0));  // just above: second bucket
+  hist.observe(4.0);                       // == last bound: last finite
+  hist.observe(std::nextafter(4.0, 5.0));  // just above: overflow
+  hist.observe(-1.0);                      // below everything: first
+
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(hist.count(), 5u);
+}
+
+TEST(Histogram, ConcurrentObservationsMatchSerialTotals) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {10.0, 100.0, 1000.0};
+  Histogram& hist = registry.histogram("latency", kBounds);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deterministic spread across all four buckets.
+        hist.observe(static_cast<double>(((t + i) % 4) * 300));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Values cycle 0, 300, 600, 900 uniformly: 0 lands in the first bucket,
+  // the rest in the third (<= 1000), none overflow.
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads) * kPerThread / 4);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2],
+            3u * static_cast<std::uint64_t>(kThreads) * kPerThread / 4);
+  EXPECT_EQ(buckets[3], 0u);
+  // Sum of the arithmetic series, exact in doubles (small integers).
+  const double expected_sum =
+      static_cast<double>(kThreads) * kPerThread / 4.0 * (0 + 300 + 600 + 900);
+  EXPECT_DOUBLE_EQ(hist.sum(), expected_sum);
+}
+
+TEST(Histogram, SnapshotMergeEqualsCombinedSerialRun) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  constexpr double kBounds[] = {1.0, 2.0};
+  Histogram& ha = a.histogram("h", kBounds);
+  Histogram& hb = b.histogram("h", kBounds);
+  a.counter("c").add(3);
+  b.counter("c").add(4);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  b.counter("only_b").add(7);
+  ha.observe(0.5);
+  ha.observe(1.5);
+  hb.observe(1.5);
+  hb.observe(9.0);
+
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  ASSERT_EQ(merged.counters.size(), 2u);  // name-sorted: c, only_b
+  EXPECT_EQ(merged.counters[0].first, "c");
+  EXPECT_EQ(merged.counters[0].second, 7u);
+  EXPECT_EQ(merged.counters[1].first, "only_b");
+  EXPECT_EQ(merged.counters[1].second, 7u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].second, 2.0);  // last writer (other) wins
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSnapshot& h = merged.histograms[0];
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 2u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.5 + 1.5 + 9.0);
+}
+
+// ----------------------------------------------------------- registry --
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("same");
+  Counter& second = registry.counter("same");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0};
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& hist = registry.histogram("h", kBounds);
+  counter.add(5);
+  gauge.set(2.5);
+  hist.observe(0.5);
+
+  registry.reset();
+
+  // Cached pointers stay valid and land in the same (zeroed) metrics.
+  counter.add(1);
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+}
+
+TEST(MetricsRegistry, DefaultRegistryStartsNullAndIsSettable) {
+  EXPECT_EQ(default_registry(), nullptr);
+  MetricsRegistry registry;
+  set_default_registry(&registry);
+  EXPECT_EQ(default_registry(), &registry);
+  set_default_registry(nullptr);
+  EXPECT_EQ(default_registry(), nullptr);
+}
+
+// --------------------------------------------------------- exposition --
+
+TEST(Prometheus, RendersCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {0.5, 2.0};
+  registry.counter("mfcp_rounds_total").add(3);
+  registry.gauge("mfcp_drift").set(1.5);
+  Histogram& hist = registry.histogram("mfcp_lat", kBounds);
+  hist.observe(0.25);
+  hist.observe(1.0);
+  hist.observe(10.0);
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE mfcp_rounds_total counter"), std::string::npos);
+  EXPECT_NE(text.find("mfcp_rounds_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mfcp_drift gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mfcp_lat histogram"), std::string::npos);
+  // Buckets are cumulative with an explicit +Inf.
+  EXPECT_NE(text.find("mfcp_lat_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("mfcp_lat_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("mfcp_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("mfcp_lat_count 3"), std::string::npos);
+}
+
+TEST(Prometheus, SplicesLeIntoExistingLabelSet) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0};
+  registry.histogram("stage_seconds{stage=\"embed\"}", kBounds).observe(0.5);
+
+  const std::string text = to_prometheus(registry.snapshot());
+  // The TYPE header uses the base name; buckets merge le into the braces.
+  EXPECT_NE(text.find("# TYPE stage_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_bucket{stage=\"embed\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_bucket{stage=\"embed\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_sum{stage=\"embed\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_count{stage=\"embed\"} 1"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- jsonl --
+
+TEST(JsonlWriter, PreservesFieldOrderAndIsByteStable) {
+  const auto render = [] {
+    std::ostringstream out;
+    JsonlWriter journal(out);
+    journal.field("round", std::uint64_t{7})
+        .field("regret", 0.1)
+        .field("trigger", std::string_view{"size"})
+        .field("retrained", false);
+    journal.end_record();
+    journal.field("round", std::uint64_t{8}).field("regret", 1.0 / 3.0);
+    journal.end_record();
+    return out.str();
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.substr(0, first.find('\n')),
+            "{\"round\":7,\"regret\":" + json_number(0.1) +
+                ",\"trigger\":\"size\",\"retrained\":false}");
+  EXPECT_EQ(std::count(first.begin(), first.end(), '\n'), 2);
+}
+
+TEST(JsonlWriter, EscapesStringsAndCountsRecords) {
+  std::ostringstream out;
+  JsonlWriter journal(out);
+  journal.field("msg", std::string_view{"a\"b\\c\n"});
+  journal.end_record();
+  EXPECT_EQ(journal.records_written(), 1u);
+  EXPECT_EQ(out.str(), "{\"msg\":\"a\\\"b\\\\c\\n\"}\n");
+}
+
+TEST(JsonNumber, RoundTripsAndHandlesNonFinite) {
+  EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+// -------------------------------------------------------------- spans --
+
+TEST(ScopedSpan, RecordsIntoHistogramAndRing) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("span_seconds",
+                                       default_time_bounds());
+  TraceRing ring(8);
+  {
+    ScopedSpan span(&hist, "stage", &ring);
+    span.stop();
+    span.stop();  // idempotent: the destructor must not double-record
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "stage");
+}
+
+TEST(ScopedSpan, NullSinksRecordNothing) {
+  ScopedSpan span(nullptr, "noop", nullptr);
+  span.stop();  // must not crash or touch any state
+}
+
+TEST(TraceRing, KeepsNewestSpansOldestFirst) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    SpanRecord rec;
+    rec.name = "s";
+    rec.start_ns = i;
+    ring.record(rec);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t k = 0; k < spans.size(); ++k) {
+    EXPECT_EQ(spans[k].start_ns, 6 + k);  // 6, 7, 8, 9: oldest first
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mfcp::obs

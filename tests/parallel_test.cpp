@@ -45,6 +45,39 @@ TEST(ThreadPool, ManyTasksAllComplete) {
   EXPECT_EQ(counter.load(), 200);
 }
 
+TEST(ThreadPool, DefaultRegistryRecordsTaskTelemetry) {
+  obs::MetricsRegistry registry;
+  obs::set_default_registry(&registry);
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int k = 0; k < 16; ++k) {
+      futures.push_back(pool.submit([k] { return k; }));
+    }
+    for (auto& f : futures) {
+      (void)f.get();
+    }
+  }
+  obs::set_default_registry(nullptr);
+
+  EXPECT_EQ(registry.counter("mfcp_pool_tasks_total").value(), 16u);
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  std::uint64_t task_count = 0;
+  std::uint64_t wait_count = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "mfcp_pool_task_seconds") task_count = h.count;
+    if (h.name == "mfcp_pool_queue_wait_seconds") wait_count = h.count;
+  }
+  EXPECT_EQ(task_count, 16u);
+  EXPECT_EQ(wait_count, 16u);
+}
+
+TEST(ThreadPool, NoRegistryMeansNoTelemetry) {
+  ASSERT_EQ(obs::default_registry(), nullptr);
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }

@@ -287,6 +287,33 @@ TEST(Log, LevelFilterRoundTrip) {
   set_log_level(saved);
 }
 
+TEST(Log, ParseLevelAcceptsNamesAndNumerics) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+}
+
+TEST(Log, ParseLevelTrimsSurroundingWhitespace) {
+  EXPECT_EQ(parse_log_level("  info  "), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("\twarn\n"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(" 2 "), LogLevel::kWarn);
+}
+
+TEST(Log, ParseLevelFallsBackOnJunk) {
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);  // default fallback
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("   "), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("7"), LogLevel::kWarn);       // out of range
+  EXPECT_EQ(parse_log_level("-1"), LogLevel::kWarn);      // out of range
+  EXPECT_EQ(parse_log_level("1.5"), LogLevel::kWarn);     // not an integer
+  EXPECT_EQ(parse_log_level("warns"), LogLevel::kWarn);   // near miss
+  EXPECT_EQ(parse_log_level("in fo"), LogLevel::kWarn);   // inner space
+}
+
 TEST(Log, EmitsAtOrAboveLevel) {
   const LogLevel saved = log_level();
   set_log_level(LogLevel::kDebug);
