@@ -10,10 +10,15 @@
 //
 // Run:  ./build/bench/exp_fig4_overall            (full: 3 settings)
 //       ./build/bench/exp_fig4_overall --quick    (setting A only)
+//       ./build/bench/exp_fig4_overall --metrics fig4.prom
+//           additionally exports every per-method result (and the solver/
+//           pool internals, via the default registry) as Prometheus text.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "mfcp/experiment.hpp"
+#include "obs/sinks.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
@@ -44,7 +49,19 @@ std::string cell(const RunningStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  std::string metrics_path;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[k], "--metrics") == 0 && k + 1 < argc) {
+      metrics_path = argv[++k];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--metrics <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   std::vector<sim::Setting> settings = {sim::Setting::kA, sim::Setting::kB,
                                         sim::Setting::kC};
   if (quick) {
@@ -56,6 +73,12 @@ int main(int argc, char** argv) {
       core::Method::kMfcpAd, core::Method::kMfcpFg};
 
   std::printf("== Figure 4: overall performance across settings ==\n");
+  // With --metrics, the default registry also captures the solver and
+  // thread-pool internals of every run alongside the per-method results.
+  obs::MetricsRegistry registry;
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(&registry);
+  }
   ThreadPool pool;
   Stopwatch total;
   Table table({"Setting", "Method", "Regret", "Reliability", "Utilization"});
@@ -65,6 +88,11 @@ int main(int argc, char** argv) {
     const auto ctx = core::make_context(cfg);
     for (const auto method : methods) {
       const auto result = core::run_method(method, ctx, cfg, &pool);
+      if (!metrics_path.empty()) {
+        result.metrics.to_registry(registry, "mfcp_eval",
+                                   "setting=\"" + sim::to_string(setting) +
+                                       "\",method=\"" + result.label + "\"");
+      }
       table.add_row({sim::to_string(setting), result.label,
                      cell(result.metrics.regret()),
                      cell(result.metrics.reliability()),
@@ -76,6 +104,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv("fig4_overall.csv");
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(nullptr);
+    std::ofstream out(metrics_path);
+    out << obs::to_prometheus(registry.snapshot());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   std::printf("CSV written to fig4_overall.csv (%.1fs total)\n",
               total.seconds());
   return 0;

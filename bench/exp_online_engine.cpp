@@ -32,6 +32,7 @@
 
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
+#include "obs/http_exporter.hpp"
 #include "nn/serialize.hpp"
 #include "sim/dataset.hpp"
 #include "support/stopwatch.hpp"
@@ -134,6 +135,15 @@ double timed_run(const Scenario& scenario,
   engine::EngineConfig cfg = base_cfg;
   cfg.registry = registry;
   cfg.trace = trace;
+  // The instrumented arm carries the full decision-observability stack:
+  // per-round regret attribution AND a live /metrics exporter accepting
+  // scrapes, so the 5% budget prices everything at once.
+  cfg.attribution = registry != nullptr;
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (registry != nullptr) {
+    exporter = std::make_unique<obs::HttpExporter>(
+        [registry] { return registry->snapshot(); });
+  }
   obs::set_default_registry(registry);
   engine::OnlineEngine eng(cfg, scenario.platform, scenario.embedder,
                            predictor, &pool);
@@ -214,15 +224,22 @@ int main(int argc, char** argv) {
 
   ThreadPool pool;
   std::unique_ptr<obs::JsonlWriter> journal;
+  // Spans are wall-clock and would break the byte-stable journal diff, so
+  // they drain to a sibling file the determinism guard never compares.
+  std::unique_ptr<obs::TraceRing> trace_ring;
+  std::unique_ptr<obs::JsonlWriter> spans_out;
   if (journal_enabled) {
     journal = std::make_unique<obs::JsonlWriter>(journal_path);
+    trace_ring = std::make_unique<obs::TraceRing>(512);
+    spans_out = std::make_unique<obs::JsonlWriter>(journal_path + ".spans");
   }
   std::vector<std::pair<std::string, bool>> modes = {{"frozen", false},
                                                      {"online", true}};
   Table csv({"mode", "round", "close_hours", "trigger", "batch",
              "queue_depth", "dropped_total", "max_wait_hours", "regret",
              "rolling_regret", "reliability", "utilization", "makespan",
-             "drift_stat", "retrained", "retrain_total"});
+             "drift_stat", "retrained", "retrain_total", "pred_gap",
+             "solver_gap", "rounding_gap", "admission_gap"});
   double post_drift_regret[2] = {0.0, 0.0};
   std::size_t mode_index = 0;
 
@@ -231,16 +248,25 @@ int main(int argc, char** argv) {
     core::PlatformPredictor predictor(num_clusters, pred_cfg, clone_init);
     clone_weights(pretrained, predictor);
 
-    engine::OnlineEngine eng(
-        engine_config(online, drift_at, max_arrivals, drift_cluster),
-        scenario.platform, scenario.embedder, predictor, &pool);
+    engine::EngineConfig run_cfg =
+        engine_config(online, drift_at, max_arrivals, drift_cluster);
+    run_cfg.attribution = true;
+    run_cfg.trace = trace_ring.get();
+    engine::OnlineEngine eng(run_cfg, scenario.platform, scenario.embedder,
+                             predictor, &pool);
     Stopwatch watch;
     const engine::EngineResult result = eng.run();
 
+    RunningStats pred_gap;
+    RunningStats solver_gap;
+    RunningStats rounding_gap;
     for (const auto& r : result.rounds) {
       if (journal != nullptr) {
         engine::append_round_journal(*journal, r, label);
       }
+      pred_gap.add(r.attribution.pred_gap);
+      solver_gap.add(r.attribution.solver_gap);
+      rounding_gap.add(r.attribution.rounding_gap);
       csv.add_row({label, std::to_string(r.round),
                    Table::cell(r.close_hours, 4), to_string(r.trigger),
                    std::to_string(r.batch), std::to_string(r.queue_depth),
@@ -251,7 +277,14 @@ int main(int argc, char** argv) {
                    Table::cell(r.utilization, 6), Table::cell(r.makespan, 6),
                    Table::cell(r.drift_stat, 6),
                    r.retrained ? "1" : "0",
-                   std::to_string(r.retrain_total)});
+                   std::to_string(r.retrain_total),
+                   Table::cell(r.attribution.pred_gap, 6),
+                   Table::cell(r.attribution.solver_gap, 6),
+                   Table::cell(r.attribution.rounding_gap, 6),
+                   Table::cell(r.attribution.admission_gap, 6)});
+    }
+    if (spans_out != nullptr && trace_ring != nullptr) {
+      trace_ring->drain_to(*spans_out);
     }
 
     post_drift_regret[mode_index++] =
@@ -268,6 +301,9 @@ int main(int argc, char** argv) {
                 result.queue.offered, 1)),
         watch.seconds());
     std::printf("   total: %s\n", result.total.summary().c_str());
+    std::printf("   attribution: pred %.4f | solver %.4f | rounding %.4f "
+                "(mean/round)\n",
+                pred_gap.mean(), solver_gap.mean(), rounding_gap.mean());
     std::printf("   post-drift regret: %.4f | pre-drift regret: %.4f\n",
                 post_drift_regret[mode_index - 1],
                 [&] {
@@ -283,6 +319,11 @@ int main(int argc, char** argv) {
     journal->flush();
     std::printf("journal written to %s (%zu records)\n",
                 journal_path.c_str(), journal->records_written());
+  }
+  if (spans_out != nullptr) {
+    spans_out->flush();
+    std::printf("spans written to %s.spans (%zu records)\n",
+                journal_path.c_str(), spans_out->records_written());
   }
 
   // Telemetry overhead: the same frozen-mode engine with instrumentation
@@ -312,6 +353,24 @@ int main(int argc, char** argv) {
                 "budget 5%%)%s\n",
                 off_best, on_best, overhead_pct,
                 overhead_pct > 5.0 ? " — OVER BUDGET" : "");
+
+    // Stage latency quantiles from the instrumented run's histograms —
+    // the same numbers a Prometheus scrape of /metrics would expose as
+    // the _quantile gauges.
+    const obs::RegistrySnapshot snap = registry.snapshot();
+    for (const auto& h : snap.histograms) {
+      if (h.name.rfind("mfcp_engine_stage_seconds", 0) != 0 ||
+          h.count == 0) {
+        continue;
+      }
+      std::printf("  %-44s p50 %7.3fms  p90 %7.3fms  p99 %7.3fms  "
+                  "(n=%llu)\n",
+                  h.name.c_str(),
+                  1e3 * obs::histogram_quantile(h, 0.5),
+                  1e3 * obs::histogram_quantile(h, 0.9),
+                  1e3 * obs::histogram_quantile(h, 0.99),
+                  static_cast<unsigned long long>(h.count));
+    }
   }
 
   std::printf("\npost-drift rolling regret: frozen %.4f vs online %.4f\n",

@@ -17,9 +17,14 @@
 // reliability; (3) ≈ MFCP on all three metrics.
 //
 // Run:  ./build/bench/exp_table1_ablation
+//       ./build/bench/exp_table1_ablation --metrics table1.prom
+//           additionally exports per-variant results as Prometheus text.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "mfcp/experiment.hpp"
+#include "obs/sinks.hpp"
 #include "support/table.hpp"
 
 using namespace mfcp;
@@ -32,7 +37,16 @@ std::string cell(const RunningStats& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--metrics") == 0 && k + 1 < argc) {
+      metrics_path = argv[++k];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   core::ExperimentConfig cfg;
   cfg.setting = sim::Setting::kC;
   cfg.num_clusters = 3;
@@ -47,6 +61,10 @@ int main() {
   cfg.mfcp_ad.pretrain_epochs = 300;
 
   std::printf("== Table 1: ablation study of MFCP ==\n");
+  obs::MetricsRegistry registry;
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(&registry);
+  }
   const auto ctx = core::make_context(cfg);
   ThreadPool pool;
 
@@ -71,6 +89,10 @@ int main() {
   for (const auto& v : variants) {
     const auto result = core::run_mfcp_variant(v.cost, v.constraint, v.grad,
                                                v.label, ctx, cfg, &pool);
+    if (!metrics_path.empty()) {
+      result.metrics.to_registry(registry, "mfcp_eval",
+                                 "variant=\"" + v.label + "\"");
+    }
     table.add_row({v.label, cell(result.metrics.regret()),
                    cell(result.metrics.reliability()),
                    cell(result.metrics.utilization())});
@@ -79,6 +101,12 @@ int main() {
   }
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv("table1_ablation.csv");
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(nullptr);
+    std::ofstream out(metrics_path);
+    out << obs::to_prometheus(registry.snapshot());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   std::printf("CSV written to table1_ablation.csv\n");
   return 0;
 }

@@ -9,14 +9,28 @@
 // highest on reliability and utilization.
 //
 // Run:  ./build/bench/exp_table2_parallel
+//       ./build/bench/exp_table2_parallel --metrics table2.prom
+//           additionally exports per-method results as Prometheus text.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "mfcp/experiment.hpp"
+#include "obs/sinks.hpp"
 #include "support/table.hpp"
 
 using namespace mfcp;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--metrics") == 0 && k + 1 < argc) {
+      metrics_path = argv[++k];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   core::ExperimentConfig cfg;
   cfg.setting = sim::Setting::kC;
   cfg.num_clusters = 3;
@@ -33,6 +47,10 @@ int main() {
 
   std::printf("== Table 2: parallel task execution (zeta: %s) ==\n",
               cfg.speedup.describe().c_str());
+  obs::MetricsRegistry registry;
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(&registry);
+  }
   const auto ctx = core::make_context(cfg);
   ThreadPool pool;
 
@@ -46,6 +64,10 @@ int main() {
   double fg_regret = 0.0;
   for (const auto method : methods) {
     const auto result = core::run_method(method, ctx, cfg, &pool);
+    if (!metrics_path.empty()) {
+      result.metrics.to_registry(registry, "mfcp_eval",
+                                 "method=\"" + result.label + "\"");
+    }
     table.add_row({result.label,
                    format_mean_std(result.metrics.regret().mean(),
                                    result.metrics.regret().stddev()),
@@ -71,6 +93,12 @@ int main() {
                 100.0 * (1.0 - fg_regret / ucb_regret));
   }
   table.write_csv("table2_parallel.csv");
+  if (!metrics_path.empty()) {
+    obs::set_default_registry(nullptr);
+    std::ofstream out(metrics_path);
+    out << obs::to_prometheus(registry.snapshot());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   std::printf("CSV written to table2_parallel.csv\n");
   return 0;
 }

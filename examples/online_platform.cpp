@@ -14,20 +14,47 @@
 // (online_platform.jsonl) records one deterministic line per round. The
 // demo ends by printing the Prometheus text exposition.
 //
+// The registry is also served live over HTTP while the demo runs: scrape
+// GET /metrics (Prometheus text) or GET /healthz on the printed port.
+//
 // Run:  ./build/examples/online_platform
+//       ./build/examples/online_platform --serve-port 9464
+//       ./build/examples/online_platform --linger-seconds 30
+//           keeps the exporter up after the run so a scraper (or curl)
+//           can read the final state — the CI smoke job relies on this.
 // Tip:  MFCP_LOG_LEVEL=info ./build/examples/online_platform
 //       also prints drift/retrain log lines from inside the engine.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/sinks.hpp"
 #include "sim/dataset.hpp"
 
 using namespace mfcp;
 
-int main() {
+int main(int argc, char** argv) {
+  int serve_port = 0;  // 0 = ephemeral, chosen by the kernel
+  int linger_seconds = 0;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
+      serve_port = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--linger-seconds") == 0 &&
+               k + 1 < argc) {
+      linger_seconds = std::atoi(argv[++k]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--serve-port N] [--linger-seconds S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   const std::size_t num_clusters = 3;
 
   // Environment + profiled dataset for pretraining.
@@ -81,7 +108,18 @@ int main() {
   cfg.registry = &registry;
   cfg.trace = &trace;
   cfg.journal = &journal;
+  cfg.attribution = true;
   obs::set_default_registry(&registry);
+
+  // Live scrape endpoint: the exporter snapshots the registry on every
+  // GET /metrics, so a scraper watches the run converge in real time.
+  obs::HttpExporterConfig http_cfg;
+  http_cfg.port = static_cast<std::uint16_t>(serve_port);
+  obs::HttpExporter exporter([&registry] { return registry.snapshot(); },
+                             http_cfg);
+  std::printf("exporter listening on http://127.0.0.1:%u\n",
+              static_cast<unsigned>(exporter.port()));
+  std::fflush(stdout);
 
   ThreadPool pool;
   engine::OnlineEngine eng(cfg, platform, embedder, predictor, &pool);
@@ -89,12 +127,15 @@ int main() {
   obs::set_default_registry(nullptr);
 
   std::printf("\nround  t(h)   trig     n  wait(h)  regret  roll    "
-              "drift   retrain\n");
+              "drift   pred    round'g retrain\n");
   for (const auto& r : result.rounds) {
-    std::printf("%5zu  %5.2f  %-7s %2zu  %6.3f  %6.3f  %6.3f  %6.3f  %s\n",
+    std::printf("%5zu  %5.2f  %-7s %2zu  %6.3f  %6.3f  %6.3f  %6.3f  "
+                "%6.3f  %6.3f  %s\n",
                 r.round, r.close_hours, to_string(r.trigger).c_str(),
                 r.batch, r.max_wait_hours, r.regret, r.rolling_regret,
-                r.drift_stat, r.retrained ? "<== retrained" : "");
+                r.drift_stat, r.attribution.pred_gap,
+                r.attribution.rounding_gap,
+                r.retrained ? "<== retrained" : "");
   }
 
   std::printf("\n%zu arrivals -> %zu rounds, %zu dispatched, %zu dropped "
@@ -114,11 +155,35 @@ int main() {
               "holds the last %zu of %llu spans\n",
               journal.records_written(), trace.snapshot().size(),
               static_cast<unsigned long long>(trace.recorded()));
+  // Quantiles the scrape-side would derive from the histogram buckets —
+  // printed here from the same estimator the exposition's _quantile
+  // gauges use.
+  std::printf("\nstage latency quantiles:\n");
+  for (const auto& h : registry.snapshot().histograms) {
+    if (h.name.rfind("mfcp_engine_stage_seconds", 0) != 0 || h.count == 0) {
+      continue;
+    }
+    std::printf("  %-44s p50 %7.3fms  p90 %7.3fms  p99 %7.3fms\n",
+                h.name.c_str(), 1e3 * obs::histogram_quantile(h, 0.5),
+                1e3 * obs::histogram_quantile(h, 0.9),
+                1e3 * obs::histogram_quantile(h, 0.99));
+  }
+
   std::printf("\n-- metrics exposition --\n%s",
               obs::to_prometheus(registry.snapshot()).c_str());
 
   // Persist what the online trainer learned.
   eng.checkpoint("online_platform.ckpt");
   std::printf("engine state checkpointed to online_platform.ckpt\n");
+
+  if (linger_seconds > 0) {
+    std::printf("exporter lingering for %ds (%llu requests served so "
+                "far)...\n",
+                linger_seconds,
+                static_cast<unsigned long long>(exporter.requests_served()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+  }
+  exporter.stop();
   return 0;
 }

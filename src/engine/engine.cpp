@@ -37,6 +37,7 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
             [](const DriftEventSpec& a, const DriftEventSpec& b) {
               return a.at_hours < b.at_hours;
             });
+  queue_.set_loss_tracking(config_.attribution);
   bind_metrics();
 }
 
@@ -56,6 +57,10 @@ void OnlineEngine::bind_metrics() {
   telemetry_.embed = stage("embed");
   telemetry_.predict = stage("predict");
   telemetry_.match = stage("match");
+  if (config_.attribution) {
+    telemetry_.attribute = stage("attribute");
+    attribution_recorder_.bind(&reg);
+  }
   telemetry_.dispatch = stage("dispatch");
   // Queue waits live on the simulated clock (hours), not the wall clock;
   // bounds follow typical max_wait_hours/deadline configurations.
@@ -88,6 +93,14 @@ void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
       .field("drift_stat", rec.drift_stat)
       .field("retrained", rec.retrained)
       .field("retrain_total", static_cast<std::uint64_t>(rec.retrain_total));
+  if (rec.attribution.valid) {
+    journal.field("pred_gap", rec.attribution.pred_gap)
+        .field("solver_gap", rec.attribution.solver_gap)
+        .field("rounding_gap", rec.attribution.rounding_gap)
+        .field("admission_gap", rec.attribution.admission_gap)
+        .field("attr_total", rec.attribution.total)
+        .field("solver_residual", rec.attribution.solver_residual);
+  }
   journal.end_record();
 }
 
@@ -238,12 +251,31 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
       truth.with_metrics(t_hat, a_hat);
 
   // Deployment solve and the same-operator reference solve (paper Eq. 6)
-  // are independent; with a pool they run concurrently.
+  // are independent; with a pool they run concurrently. Attribution keeps
+  // the full deploy traces (problem + relaxed solution + assignment) so
+  // each pipeline stage can be priced separately afterwards.
   Stopwatch solve_watch;
   obs::ScopedSpan match_span(telemetry_.match, "match", config_.trace);
   matching::Assignment deployed;
   matching::Assignment reference;
-  if (pool_ != nullptr) {
+  core::DeployTrace deployed_trace;
+  core::DeployTrace reference_trace;
+  if (config_.attribution) {
+    if (pool_ != nullptr) {
+      auto deployed_fut = pool_->submit([&] {
+        return core::deploy_matching_traced(predicted, config_.eval);
+      });
+      auto reference_fut = pool_->submit(
+          [&] { return core::deploy_matching_traced(truth, config_.eval); });
+      deployed_trace = deployed_fut.get();
+      reference_trace = reference_fut.get();
+    } else {
+      deployed_trace = core::deploy_matching_traced(predicted, config_.eval);
+      reference_trace = core::deploy_matching_traced(truth, config_.eval);
+    }
+    deployed = deployed_trace.assignment;
+    reference = reference_trace.assignment;
+  } else if (pool_ != nullptr) {
     auto deployed_fut = pool_->submit(
         [&] { return core::deploy_matching(predicted, config_.eval); });
     auto reference_fut = pool_->submit(
@@ -330,6 +362,38 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   rec.retrained = retrained;
   rec.retrain_total = trainer_.retrain_count();
   rec.solve_seconds = solve_seconds;
+
+  if (config_.attribution) {
+    obs::ScopedSpan attr_span(telemetry_.attribute, "attribute",
+                              config_.trace);
+    core::AttributionConfig acfg;
+    // Admission counterfactual: every arrival lost since the previous
+    // round (capacity drops + deadline expiries), priced at its best-case
+    // true runtime and normalized by this round's batch size so the term
+    // is commensurable with the per-task regret gaps.
+    const std::vector<Arrival> lost = queue_.take_recent_losses();
+    if (!lost.empty()) {
+      std::vector<sim::TaskDescriptor> lost_tasks;
+      lost_tasks.reserve(lost.size());
+      for (const Arrival& a : lost) {
+        lost_tasks.push_back(a.task);
+      }
+      const Matrix lost_times = platform_.true_times(lost_tasks);
+      double loss = 0.0;
+      for (std::size_t j = 0; j < lost_tasks.size(); ++j) {
+        double best = lost_times(0, j);
+        for (std::size_t i = 1; i < m; ++i) {
+          best = std::min(best, lost_times(i, j));
+        }
+        loss += best;
+      }
+      acfg.admission_loss = loss / static_cast<double>(tasks.size());
+    }
+    rec.attribution = core::attribute_regret(
+        truth, deployed_trace, reference_trace, config_.eval, acfg);
+    attr_span.stop();
+    attribution_recorder_.record(rec.attribution);
+  }
 
   ++counters_.rounds;
   counters_.retrains = trainer_.retrain_count();

@@ -28,6 +28,7 @@
 #include "engine/queue.hpp"
 #include "mfcp/metrics.hpp"
 #include "mfcp/regret.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
@@ -70,6 +71,15 @@ struct EngineConfig {
   /// windowed summaries (uses MetricsAccumulator reset()/merge()).
   std::size_t metrics_window = 16;
 
+  /// Per-round regret attribution: decompose each round's realized regret
+  /// into prediction / solver / rounding / admission terms
+  /// (core::attribute_regret), record them through `registry` and the
+  /// journal, and keep the queue's lost arrivals for the admission
+  /// counterfactual. Costs two warm-started polish solves per round (the
+  /// chains' relaxed solutions continued to a tighter stationary point);
+  /// decisions are unaffected — attribution only observes.
+  bool attribution = false;
+
   /// Scheduled environment drift, sorted or not (the engine sorts).
   std::vector<DriftEventSpec> drift_events;
 
@@ -108,6 +118,8 @@ struct RoundRecord {
   std::size_t retrain_total = 0;
   double rolling_regret = 0.0;   // mean over the trailing metrics window
   double solve_seconds = 0.0;    // wall clock (diagnostic, nondeterministic)
+  /// Regret decomposition (valid only when EngineConfig::attribution).
+  obs::RegretBreakdown attribution;
 };
 
 /// Appends `rec` to the JSONL round journal with a stable field order.
@@ -170,6 +182,7 @@ class OnlineEngine {
     obs::Histogram* embed = nullptr;
     obs::Histogram* predict = nullptr;
     obs::Histogram* match = nullptr;
+    obs::Histogram* attribute = nullptr;
     obs::Histogram* dispatch = nullptr;
     obs::Histogram* queue_wait_hours = nullptr;  // simulated-time waits
     obs::Counter* tasks_matched = nullptr;
@@ -193,6 +206,7 @@ class OnlineEngine {
   std::size_t next_drift_ = 0;
   EngineCounters counters_;
   Telemetry telemetry_;
+  obs::AttributionRecorder attribution_recorder_;
   bool ran_ = false;
 };
 

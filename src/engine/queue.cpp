@@ -51,7 +51,13 @@ bool AdmissionQueue::push(Arrival arrival) {
       if (telemetry_.dropped_capacity != nullptr) {
         telemetry_.dropped_capacity->add(1);
       }
+      if (track_losses_) {
+        recent_losses_.push_back(std::move(arrival));
+      }
       return false;
+    }
+    if (track_losses_) {
+      recent_losses_.push_back(std::move(queue_.front()));
     }
     queue_.pop_front();
     ++stats_.dropped_capacity;
@@ -73,6 +79,9 @@ void AdmissionQueue::expire(double now) {
   // but need not stay so), so scan the whole buffer.
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->deadline_hours < now) {
+      if (track_losses_) {
+        recent_losses_.push_back(std::move(*it));
+      }
       it = queue_.erase(it);
       ++stats_.expired;
       if (telemetry_.expired != nullptr) {
@@ -83,6 +92,19 @@ void AdmissionQueue::expire(double now) {
     }
   }
   record_depth();
+}
+
+void AdmissionQueue::set_loss_tracking(bool enabled) {
+  track_losses_ = enabled;
+  if (!enabled) {
+    recent_losses_.clear();
+  }
+}
+
+std::vector<Arrival> AdmissionQueue::take_recent_losses() {
+  std::vector<Arrival> out;
+  out.swap(recent_losses_);
+  return out;
 }
 
 std::vector<Arrival> AdmissionQueue::pop_batch(std::size_t n) {

@@ -63,6 +63,16 @@ class AdmissionQueue {
   /// Pops up to `n` jobs in FIFO order for a matching round.
   std::vector<Arrival> pop_batch(std::size_t n);
 
+  /// Opt-in retention of lost arrivals (capacity drops and deadline
+  /// expiries) so the engine's regret attribution can price their
+  /// counterfactual. Off by default — with nobody collecting, stashing
+  /// every loss of a long run would grow without bound.
+  void set_loss_tracking(bool enabled);
+
+  /// Arrivals lost since the last call, in loss order; clears the stash.
+  /// Empty unless loss tracking is enabled.
+  [[nodiscard]] std::vector<Arrival> take_recent_losses();
+
   [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
 
@@ -88,6 +98,8 @@ class AdmissionQueue {
   std::deque<Arrival> queue_;
   QueueStats stats_;
   Telemetry telemetry_;
+  bool track_losses_ = false;
+  std::vector<Arrival> recent_losses_;
 };
 
 }  // namespace mfcp::engine

@@ -39,6 +39,11 @@ double makespan(const Assignment& assignment, const Matrix& times,
                   speedup);
 }
 
+double rounding_gap(const Matrix& x, const Assignment& assignment,
+                    const Matrix& times, const sim::SpeedupCurve& speedup) {
+  return makespan(assignment, times, speedup) - makespan(x, times, speedup);
+}
+
 double linear_cost(const Matrix& x, const Matrix& times,
                    const sim::SpeedupCurve& speedup) {
   const auto busy = busy_times(x, times, speedup);

@@ -14,6 +14,13 @@ double makespan(const Matrix& x, const Matrix& times,
 double makespan(const Assignment& assignment, const Matrix& times,
                 const sim::SpeedupCurve& speedup);
 
+/// Integrality (rounding) gap f(assignment) - f(x): the makespan price of
+/// snapping a relaxed matching to the discrete deployment derived from
+/// it. Signed — rounding can land on a better integral point than the
+/// fractional iterate it started from.
+double rounding_gap(const Matrix& x, const Assignment& assignment,
+                    const Matrix& times, const sim::SpeedupCurve& speedup);
+
 /// Linear cost Σ_i ζ(n_i) x_i^T t_i (the ablation-(1) objective: total
 /// instead of maximum cluster time).
 double linear_cost(const Matrix& x, const Matrix& times,

@@ -30,23 +30,26 @@ double MetricsAccumulator::feasible_fraction() const noexcept {
 }
 
 void MetricsAccumulator::to_registry(obs::MetricsRegistry& registry,
-                                     std::string_view prefix) const {
+                                     std::string_view prefix,
+                                     std::string_view labels) const {
+  const std::string suffix =
+      labels.empty() ? std::string() : '{' + std::string(labels) + '}';
   const auto expose = [&](std::string_view metric, const RunningStats& s) {
     const std::string base =
         std::string(prefix) + '_' + std::string(metric) + '_';
-    registry.gauge(base + "mean").set(s.mean());
-    registry.gauge(base + "stddev").set(s.stddev());
+    registry.gauge(base + "mean" + suffix).set(s.mean());
+    registry.gauge(base + "stddev" + suffix).set(s.stddev());
     if (s.count() > 0) {
-      registry.gauge(base + "min").set(s.min());
-      registry.gauge(base + "max").set(s.max());
+      registry.gauge(base + "min" + suffix).set(s.min());
+      registry.gauge(base + "max" + suffix).set(s.max());
     }
   };
   expose("regret", regret_);
   expose("reliability", reliability_);
   expose("utilization", utilization_);
-  registry.gauge(std::string(prefix) + "_rounds")
+  registry.gauge(std::string(prefix) + "_rounds" + suffix)
       .set(static_cast<double>(rounds()));
-  registry.gauge(std::string(prefix) + "_feasible_fraction")
+  registry.gauge(std::string(prefix) + "_feasible_fraction" + suffix)
       .set(feasible_fraction());
 }
 

@@ -46,8 +46,12 @@ class MetricsAccumulator {
   /// the engine's telemetry instead of living in a parallel struct. For
   /// each metric this exports `<prefix>_<metric>_{mean,stddev,min,max}`
   /// gauges, plus `<prefix>_rounds` and `<prefix>_feasible_fraction`.
+  /// A non-empty `labels` ('method="TSM",setting="A"') is appended to
+  /// every exported name, letting one registry hold several methods'
+  /// results side by side (the offline harnesses' --metrics flag).
   void to_registry(obs::MetricsRegistry& registry,
-                   std::string_view prefix = "mfcp_eval") const;
+                   std::string_view prefix = "mfcp_eval",
+                   std::string_view labels = {}) const;
 
  private:
   RunningStats regret_;

@@ -10,9 +10,33 @@
 
 namespace mfcp::core {
 
-matching::Assignment deploy_matching(
-    const matching::MatchingProblem& predicted,
-    const EvaluationConfig& config) {
+namespace {
+
+/// The deployment objective: barrier (or ablated linear) cost, optionally
+/// wrapped in the entropic regularizer. Shared by the deploy solve and
+/// the attribution's polish continuation, which must minimize the SAME
+/// smooth objective for the solver gap to mean anything.
+std::unique_ptr<matching::ContinuousObjective> make_deploy_objective(
+    const matching::MatchingProblem& problem, const EvaluationConfig& config) {
+  std::unique_ptr<matching::ContinuousObjective> objective;
+  if (config.linear_cost) {
+    objective = std::make_unique<matching::LinearCostBarrierObjective>(
+        problem, config.barrier.lambda);
+  } else {
+    objective = std::make_unique<matching::BarrierObjective>(
+        problem, config.barrier);
+  }
+  if (config.entropy_tau > 0.0) {
+    objective = std::make_unique<matching::EntropicObjective>(
+        std::move(objective), config.entropy_tau);
+  }
+  return objective;
+}
+
+}  // namespace
+
+DeployTrace deploy_matching_traced(const matching::MatchingProblem& predicted,
+                                   const EvaluationConfig& config) {
   predicted.validate();
   // Paper-faithful deployment (§3.2): solve the continuous barrier
   // relaxation, round, and repair feasibility — all against the predicted
@@ -20,30 +44,92 @@ matching::Assignment deploy_matching(
   // gradients differentiate through is essential: a smarter deployment
   // heuristic (e.g. racing an LPT greedy) decouples the learned predictor
   // from the decisions it is being trained for.
-  std::unique_ptr<matching::ContinuousObjective> objective;
-  if (config.linear_cost) {
-    objective = std::make_unique<matching::LinearCostBarrierObjective>(
-        predicted, config.barrier.lambda);
-  } else {
-    objective = std::make_unique<matching::BarrierObjective>(
-        predicted, config.barrier);
-  }
-  if (config.entropy_tau > 0.0) {
-    objective = std::make_unique<matching::EntropicObjective>(
-        std::move(objective), config.entropy_tau);
-  }
-  const auto relaxed = matching::solve_mirror(*objective, config.solver);
+  const auto objective = make_deploy_objective(predicted, config);
+  DeployTrace trace;
+  trace.problem = predicted;
+  trace.relaxed = matching::solve_mirror(*objective, config.solver);
   // Argmax rounding only. The paper folds the reliability constraint into
   // the barrier term of the matching objective and reports achieved
   // reliability as a separate metric (§4.1.3) — there is no post-hoc
   // feasibility repair, and adding one (or any discrete polish) interposes
   // a non-differentiated transformation between the relaxed solution the
   // predictors are trained through and the deployed decision.
-  matching::Assignment assignment = matching::round_argmax(relaxed.x);
+  trace.assignment = matching::round_argmax(trace.relaxed.x);
   if (config.local_search) {
-    assignment = matching::improve_local_search(assignment, predicted);
+    trace.assignment =
+        matching::improve_local_search(trace.assignment, predicted);
   }
-  return assignment;
+  return trace;
+}
+
+matching::Assignment deploy_matching(
+    const matching::MatchingProblem& predicted,
+    const EvaluationConfig& config) {
+  return deploy_matching_traced(predicted, config).assignment;
+}
+
+obs::RegretBreakdown attribute_regret(const matching::MatchingProblem& truth,
+                                      const DeployTrace& deployed,
+                                      const DeployTrace& reference,
+                                      const EvaluationConfig& config,
+                                      const AttributionConfig& attr) {
+  truth.validate();
+  const double n = static_cast<double>(truth.num_tasks());
+
+  // Continue each chain's own smooth objective from its solver output to
+  // a tighter stationary point — the stand-in for the converged optimum.
+  // Warm-starting makes this cheap when the deploy solve already
+  // converged (the polish exits at its first residual check).
+  matching::MirrorSolverConfig polish = config.solver;
+  polish.max_iterations = attr.polish_iterations;
+  polish.tolerance = attr.polish_tolerance > 0.0 ? attr.polish_tolerance
+                                                 : config.solver.tolerance;
+  // A chain whose solve already met the inherited tolerance would pass the
+  // polish's first residual check unchanged — skip the solve entirely (the
+  // common converged case costs nothing). An explicitly tightened
+  // polish_tolerance always polishes.
+  const auto polish_chain = [&](const DeployTrace& trace) {
+    if (trace.relaxed.converged && attr.polish_tolerance <= 0.0) {
+      return trace.relaxed.x;
+    }
+    const auto objective = make_deploy_objective(trace.problem, config);
+    return matching::solve_mirror_from(*objective, trace.relaxed.x, polish).x;
+  };
+  const Matrix dep_polished = polish_chain(deployed);
+  const Matrix ref_polished = polish_chain(reference);
+
+  // Everything is priced under the TRUE hard makespan so the terms add in
+  // realized-regret units, whatever smooth objective the solves used.
+  const auto f = [&](const Matrix& x) {
+    return matching::makespan(x, truth.times, truth.speedup);
+  };
+  const double f_dep_relaxed = f(deployed.relaxed.x);
+  const double f_ref_relaxed = f(reference.relaxed.x);
+  const double f_dep_polished = f(dep_polished);
+  const double f_ref_polished = f(ref_polished);
+  const double dep_rounding = matching::rounding_gap(
+      deployed.relaxed.x, deployed.assignment, truth.times, truth.speedup);
+  const double ref_rounding = matching::rounding_gap(
+      reference.relaxed.x, reference.assignment, truth.times, truth.speedup);
+
+  obs::RegretBreakdown out;
+  out.pred_gap = (f_dep_polished - f_ref_polished) / n;
+  out.solver_gap =
+      ((f_dep_relaxed - f_dep_polished) - (f_ref_relaxed - f_ref_polished)) /
+      n;
+  out.rounding_gap = (dep_rounding - ref_rounding) / n;
+  out.admission_gap = attr.admission_loss;
+  // The invariant's independent right side: end-to-end realized regret
+  // (integral deployed vs integral reference makespan) plus admission.
+  out.total = (matching::makespan(deployed.assignment, truth.times,
+                                  truth.speedup) -
+               matching::makespan(reference.assignment, truth.times,
+                                  truth.speedup)) /
+                  n +
+              attr.admission_loss;
+  out.solver_residual = deployed.relaxed.residual;
+  out.valid = true;
+  return out;
 }
 
 MatchOutcome evaluate_assignment(const matching::MatchingProblem& truth,

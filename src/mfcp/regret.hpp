@@ -12,6 +12,7 @@
 #include "matching/barrier.hpp"
 #include "matching/solver_exact.hpp"
 #include "matching/solver_mirror.hpp"
+#include "obs/attribution.hpp"
 
 namespace mfcp::core {
 
@@ -43,6 +44,61 @@ struct EvaluationConfig {
 /// the *predicted* problem. This is what the platform ships.
 matching::Assignment deploy_matching(const matching::MatchingProblem& predicted,
                                      const EvaluationConfig& config);
+
+/// deploy_matching with the intermediate products kept: the problem the
+/// solve ran against, the relaxed solver output, and the rounded
+/// assignment. attribute_regret needs all three to price each pipeline
+/// stage separately; `assignment` is bit-identical to what
+/// deploy_matching returns for the same inputs (deploy_matching is
+/// implemented on top of this).
+struct DeployTrace {
+  matching::MatchingProblem problem;
+  matching::SolveResult relaxed;
+  matching::Assignment assignment;
+};
+
+DeployTrace deploy_matching_traced(const matching::MatchingProblem& predicted,
+                                   const EvaluationConfig& config);
+
+/// Knobs for the attribution's polish solves (continuing each chain's
+/// relaxed solve, warm-started from its output, to the stationary point
+/// that stands in for the converged optimum). The defaults are tuned for
+/// the always-on per-round path: a converged deploy solve passes the
+/// polish's first residual check, so attribution stays inside the 5%
+/// telemetry overhead budget; the decomposition telescopes exactly at ANY
+/// polish depth — deeper polish only sharpens the pred/solver split.
+struct AttributionConfig {
+  std::size_t polish_iterations = 16;
+  /// <= 0 inherits the evaluation config's solver tolerance (the polish
+  /// then only does real work when the deploy solve hit its iteration
+  /// cap — exactly when solver_gap is interesting).
+  double polish_tolerance = 0.0;
+  /// Counterfactual loss of tasks dropped/expired before this round,
+  /// passed through into the breakdown's admission_gap (the caller owns
+  /// the queue; the decomposition just keeps the books additive).
+  double admission_loss = 0.0;
+};
+
+/// Decomposes one round's realized regret into the additive terms of
+/// obs::RegretBreakdown. `deployed` must be the trace of the prediction-
+/// driven solve, `reference` the same-operator solve on the true metrics;
+/// both are assumed to have used `config` (as the engine does). All terms
+/// are evaluated under `truth`'s hard makespan, per task:
+///
+///   pred_gap     = ( f(x̂⁺_dep) − f(x̂⁺_ref) ) / N
+///   solver_gap   = ( [f(x̂_dep) − f(x̂⁺_dep)] − [f(x̂_ref) − f(x̂⁺_ref)] ) / N
+///   rounding_gap = ( [f(X_dep) − f(x̂_dep)] − [f(X_ref) − f(x̂_ref)] ) / N
+///
+/// where x̂ is each chain's relaxed solver output, x̂⁺ its polished
+/// continuation, and X its rounded assignment. The three telescope to
+/// ( f(X_dep) − f(X_ref) ) / N — exactly the realized round regret — so
+/// with admission_loss added on both sides the breakdown satisfies
+/// RegretBreakdown::exact() up to floating-point error.
+obs::RegretBreakdown attribute_regret(const matching::MatchingProblem& truth,
+                                      const DeployTrace& deployed,
+                                      const DeployTrace& reference,
+                                      const EvaluationConfig& config,
+                                      const AttributionConfig& attr = {});
 
 struct MatchOutcome {
   double regret = 0.0;           // per-task makespan gap vs true optimum

@@ -1,0 +1,49 @@
+#include "obs/attribution.hpp"
+
+namespace mfcp::obs {
+
+void AttributionRecorder::bind(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    pred_ = solver_ = rounding_ = admission_ = total_ = nullptr;
+    rounds_ = inexact_counter_ = nullptr;
+    return;
+  }
+  const auto gap = [registry](const char* term) {
+    return &registry->histogram(
+        std::string("mfcp_regret_gap{term=\"") + term + "\"}",
+        default_gap_bounds());
+  };
+  pred_ = gap("prediction");
+  solver_ = gap("solver");
+  rounding_ = gap("rounding");
+  admission_ = gap("admission");
+  total_ = gap("total");
+  rounds_ = &registry->counter("mfcp_regret_attributed_rounds_total");
+  inexact_counter_ =
+      &registry->counter("mfcp_regret_attribution_inexact_total");
+}
+
+void AttributionRecorder::record(const RegretBreakdown& breakdown) {
+  if (!breakdown.valid) {
+    return;
+  }
+  ++recorded_;
+  const bool exact = breakdown.exact();
+  if (!exact) {
+    ++inexact_;
+  }
+  if (rounds_ == nullptr) {
+    return;
+  }
+  pred_->observe(breakdown.pred_gap);
+  solver_->observe(breakdown.solver_gap);
+  rounding_->observe(breakdown.rounding_gap);
+  admission_->observe(breakdown.admission_gap);
+  total_->observe(breakdown.total);
+  rounds_->add(1);
+  if (!exact) {
+    inexact_counter_->add(1);
+  }
+}
+
+}  // namespace mfcp::obs

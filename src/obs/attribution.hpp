@@ -1,0 +1,99 @@
+// Per-round regret attribution: the observability side of the decision
+// loss decomposition.
+//
+// Aggregate regret says a round went badly; it does not say *why*. The
+// decomposition (computed by core::attribute_regret, which owns the
+// matching-layer math) splits each round's realized loss into four
+// additive terms, all in per-task true-makespan units:
+//
+//   pred_gap      — loss caused by feeding the matcher predicted instead
+//                   of true metrics (converged relaxed optima compared
+//                   under the truth);
+//   solver_gap    — loss from stopping the deployed solve early, net of
+//                   the same effect on the reference solve;
+//   rounding_gap  — fractional -> integral makespan delta, net of the
+//                   reference chain's identical rounding step;
+//   admission_gap — counterfactual best-case runtime of tasks the
+//                   platform dropped (capacity) or expired (deadline)
+//                   since the previous round, normalized by batch size.
+//
+// Exactness invariant: the four terms telescope, so
+//   pred_gap + solver_gap + rounding_gap + admission_gap == total
+// where total = realized round regret + admission_gap, each side computed
+// from independent makespan evaluations. AttributionRecorder checks the
+// invariant on every record (kAttributionTolerance) and counts
+// violations; tests and the CI journal guard assert it stays zero.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace mfcp::obs {
+
+/// |sum of terms - total| tolerance for the exactness invariant. The
+/// terms are sums/differences of O(1) makespans, so accumulated
+/// floating-point error sits far below this.
+inline constexpr double kAttributionTolerance = 1e-6;
+
+/// One round's regret decomposition. Plain doubles so the engine can
+/// journal it and the recorder can histogram it without the obs layer
+/// depending on the matching types that produced it.
+struct RegretBreakdown {
+  double pred_gap = 0.0;
+  double solver_gap = 0.0;
+  double rounding_gap = 0.0;
+  double admission_gap = 0.0;
+  /// Realized round regret + admission_gap, computed independently of the
+  /// terms (from the end-to-end makespans) — the invariant's right side.
+  double total = 0.0;
+  /// Smooth-objective stationarity residual of the deployed solve
+  /// (diagnostic: how far from converged the shipped solution was).
+  double solver_residual = 0.0;
+  /// False until a decomposition is actually computed (attribution off or
+  /// not yet run) — consumers skip invalid breakdowns.
+  bool valid = false;
+
+  [[nodiscard]] double term_sum() const noexcept {
+    return pred_gap + solver_gap + rounding_gap + admission_gap;
+  }
+  [[nodiscard]] bool exact(double tolerance = kAttributionTolerance)
+      const noexcept {
+    return std::abs(term_sum() - total) <= tolerance;
+  }
+};
+
+/// Streams breakdowns into a MetricsRegistry: one signed-bounds histogram
+/// per term (`mfcp_regret_gap{term=...}`), a round counter, and an
+/// inexact-decomposition counter that should stay at zero. Null registry
+/// disables recording entirely (the usual telemetry-off contract);
+/// recorded()/inexact() still count locally so callers can assert on them
+/// in either mode.
+class AttributionRecorder {
+ public:
+  AttributionRecorder() = default;
+  explicit AttributionRecorder(MetricsRegistry* registry) { bind(registry); }
+
+  /// Registers (or re-finds) the metrics; null detaches.
+  void bind(MetricsRegistry* registry);
+
+  /// Records one breakdown. Ignores breakdowns with valid == false.
+  void record(const RegretBreakdown& breakdown);
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::uint64_t inexact() const noexcept { return inexact_; }
+
+ private:
+  Histogram* pred_ = nullptr;
+  Histogram* solver_ = nullptr;
+  Histogram* rounding_ = nullptr;
+  Histogram* admission_ = nullptr;
+  Histogram* total_ = nullptr;
+  Counter* rounds_ = nullptr;
+  Counter* inexact_counter_ = nullptr;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t inexact_ = 0;
+};
+
+}  // namespace mfcp::obs

@@ -1,0 +1,95 @@
+// Minimal live-metrics HTTP endpoint: a blocking accept loop on one
+// background thread, plain POSIX sockets, no dependencies.
+//
+//   GET /metrics  -> 200, Prometheus text exposition of a fresh snapshot
+//   GET /healthz  -> 200, "ok\n"
+//   GET <other>   -> 404;  non-GET -> 405
+//
+// The exporter pulls: each scrape invokes the caller-supplied snapshot
+// function, so the running engine never blocks on the exporter — scrapes
+// pay the snapshot cost (summing sharded atomics), the instrumented hot
+// path pays nothing. One connection is served at a time (scrapes are rare
+// and responses small; a second scraper queues in the listen backlog),
+// and a receive timeout keeps a stalled client from wedging the loop.
+//
+// Request parsing and response assembly are static pure functions so the
+// protocol surface is unit-testable without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace mfcp::obs {
+
+struct HttpExporterConfig {
+  /// Loopback by default: the exporter serves process introspection, not
+  /// the open internet.
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read the result via port().
+  std::uint16_t port = 0;
+  int listen_backlog = 16;
+  /// Receive timeout per connection, guarding the single-threaded loop
+  /// against stalled clients.
+  int receive_timeout_ms = 2000;
+};
+
+class HttpExporter {
+ public:
+  /// Produces the snapshot a scrape renders. Called on the exporter
+  /// thread once per /metrics request.
+  using SnapshotFn = std::function<RegistrySnapshot()>;
+
+  /// Binds, listens, and starts the accept thread. Throws ContractError
+  /// when the socket cannot be created or bound.
+  explicit HttpExporter(SnapshotFn snapshot, HttpExporterConfig config = {});
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Stops and joins the accept thread.
+  ~HttpExporter();
+
+  /// The actually bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Idempotent early shutdown (also run by the destructor).
+  void stop();
+
+  /// First line of an HTTP request, split. `valid` is false when the line
+  /// is not "METHOD SP PATH SP VERSION".
+  struct Request {
+    std::string method;
+    std::string path;
+    bool valid = false;
+  };
+  static Request parse_request_line(std::string_view line);
+
+  /// Full HTTP/1.1 response (status line + headers + body) for `request`.
+  /// `snapshot` is only invoked for GET /metrics.
+  static std::string respond(const Request& request,
+                             const SnapshotFn& snapshot);
+
+ private:
+  void serve();
+
+  SnapshotFn snapshot_;
+  HttpExporterConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace mfcp::obs

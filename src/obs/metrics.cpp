@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/check.hpp"
 
@@ -239,6 +240,43 @@ std::span<const double> default_iteration_bounds() noexcept {
   static constexpr double kBounds[] = {10.0,  25.0,   50.0,   100.0,  250.0,
                                        500.0, 1000.0, 2000.0, 4000.0, 8000.0};
   return kBounds;
+}
+
+std::span<const double> default_gap_bounds() noexcept {
+  static constexpr double kBounds[] = {
+      -1.0,  -0.3,  -0.1,  -0.03, -0.01, -0.003, -0.001, 0.0,
+      0.001, 0.003, 0.01,  0.03,  0.1,   0.3,    1.0,    3.0};
+  return kBounds;
+}
+
+double histogram_quantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+    const std::uint64_t prev = cumulative;
+    cumulative += snapshot.buckets[b];
+    if (static_cast<double>(cumulative) >= rank && snapshot.buckets[b] > 0) {
+      const double upper = snapshot.bounds[b];
+      const double lower =
+          b == 0 ? std::min(0.0, upper) : snapshot.bounds[b - 1];
+      const double within =
+          (rank - static_cast<double>(prev)) /
+          static_cast<double>(snapshot.buckets[b]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+    }
+  }
+  // Rank lies in the +Inf overflow bucket: the grid's top edge is the
+  // best (and only honest) estimate.
+  return snapshot.bounds.back();
+}
+
+std::span<const double> exposition_quantiles() noexcept {
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+  return kQuantiles;
 }
 
 }  // namespace mfcp::obs

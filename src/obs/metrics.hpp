@@ -167,4 +167,23 @@ void set_default_registry(MetricsRegistry* registry) noexcept;
 /// Upper bounds for iteration-count histograms (solver convergence).
 [[nodiscard]] std::span<const double> default_iteration_bounds() noexcept;
 
+/// Signed bounds for regret-gap histograms (per-task makespan units):
+/// attribution terms can be negative (the deployed chain beating the
+/// reference on one sub-step), so the grid spans both signs around zero.
+[[nodiscard]] std::span<const double> default_gap_bounds() noexcept;
+
+/// Prometheus-style quantile estimate from a fixed-bucket histogram:
+/// walks the cumulative bucket counts to the bucket containing rank
+/// q * count and linearly interpolates inside it (the first bucket's lower
+/// edge is 0 when its upper bound is positive, the bound itself
+/// otherwise). Ranks landing in the +Inf overflow bucket return the
+/// largest finite bound — the estimate cannot exceed the configured grid.
+/// Returns NaN for an empty histogram; q is clamped to [0, 1].
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& snapshot,
+                                        double q);
+
+/// The quantiles the exposition and end-of-run summaries render
+/// (p50/p90/p99).
+[[nodiscard]] std::span<const double> exposition_quantiles() noexcept;
+
 }  // namespace mfcp::obs

@@ -103,6 +103,25 @@ void write_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
     os << base << "_sum" << suffix << ' ' << format_double(h.sum) << '\n';
     os << base << "_count" << suffix << ' ' << h.count << '\n';
   }
+  // Quantile estimates as sibling gauge families (`<base>_quantile`),
+  // interpolated from the fixed buckets — scrapers get p50/p90/p99
+  // without a recording rule. A separate pass keeps every family
+  // contiguous (strict parsers reject interleaved families); empty
+  // histograms are skipped (no honest estimate).
+  last_base.clear();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.count == 0) {
+      continue;
+    }
+    const std::string base(split_name(h.name).base);
+    type_header(os, base + "_quantile", "gauge", last_base);
+    for (const double q : exposition_quantiles()) {
+      const std::string label = "quantile=\"" + format_bound(q) + "\"";
+      std::string labeled = with_label(h.name, label);
+      os << base << "_quantile" << labeled.substr(base.size()) << ' '
+         << format_double(histogram_quantile(h, q)) << '\n';
+    }
+  }
 }
 
 std::string to_prometheus(const RegistrySnapshot& snapshot) {
@@ -139,6 +158,15 @@ void append_escaped(std::string& out, std::string_view text) {
         break;
       case '\t':
         out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {

@@ -1,5 +1,6 @@
 #include "obs/span.hpp"
 
+#include "obs/sinks.hpp"
 #include "support/check.hpp"
 
 namespace mfcp::obs {
@@ -34,6 +35,30 @@ std::vector<SpanRecord> TraceRing::snapshot() const {
 std::uint64_t TraceRing::recorded() const noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   return recorded_;
+}
+
+std::size_t TraceRing::drain_to(JsonlWriter& out) {
+  std::vector<SpanRecord> spans;
+  {
+    // Take and empty the window in one critical section (no span recorded
+    // concurrently can fall between the copy and the clear). The lifetime
+    // `recorded_` counter deliberately survives the drain.
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans.reserve(ring_.size());
+    for (std::size_t k = 0; k < ring_.size(); ++k) {
+      spans.push_back(ring_[(next_ + k) % ring_.size()]);
+    }
+    ring_.clear();
+    next_ = 0;
+  }
+  for (const SpanRecord& s : spans) {
+    out.field("span", std::string_view(s.name))
+        .field("start_ns", s.start_ns)
+        .field("duration_ns", s.duration_ns)
+        .field("thread", static_cast<std::uint64_t>(s.thread));
+    out.end_record();
+  }
+  return spans.size();
 }
 
 void TraceRing::clear() {

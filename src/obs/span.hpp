@@ -20,6 +20,8 @@
 
 namespace mfcp::obs {
 
+class JsonlWriter;
+
 /// One completed span. `name` must point at a string with static storage
 /// duration (instrumentation sites use literals).
 struct SpanRecord {
@@ -40,6 +42,14 @@ class TraceRing {
 
   /// The retained spans, oldest first.
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Writes every retained span to `out` as one JSONL record each
+  /// ({"span":...,"start_ns":...,"duration_ns":...,"thread":...}, oldest
+  /// first), then clears the ring so spans survive beyond the in-memory
+  /// window without double-export. Returns the number drained. Span
+  /// timestamps are wall-clock — drain into a diagnostics journal, not
+  /// one that must be byte-stable across runs.
+  std::size_t drain_to(JsonlWriter& out);
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Total spans ever recorded (not capped at capacity).

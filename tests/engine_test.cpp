@@ -474,6 +474,86 @@ TEST(Engine, JournalLabelTagsTheRun) {
   EXPECT_EQ(out.str().rfind("{\"mode\":\"frozen\",\"round\":3,", 0), 0u);
 }
 
+TEST(Engine, AttributionIsExactAndTiesOutToRoundRegret) {
+  EngineFixture f;
+  obs::MetricsRegistry registry;
+  EngineConfig cfg = small_engine_config();
+  cfg.attribution = true;
+  cfg.registry = &registry;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+  ASSERT_GT(result.rounds.size(), 0u);
+
+  for (const RoundRecord& rec : result.rounds) {
+    ASSERT_TRUE(rec.attribution.valid) << "round " << rec.round;
+    EXPECT_TRUE(rec.attribution.exact(1e-6))
+        << "round " << rec.round << ": terms " << rec.attribution.term_sum()
+        << " vs total " << rec.attribution.total;
+    // Stripping the admission counterfactual from the total recovers the
+    // realized regret the engine scored independently for this round.
+    EXPECT_NEAR(rec.attribution.total - rec.attribution.admission_gap,
+                rec.regret, 1e-9)
+        << "round " << rec.round;
+    EXPECT_GE(rec.attribution.admission_gap, 0.0);
+    EXPECT_GE(rec.attribution.solver_residual, 0.0);
+  }
+
+  // The recorder saw every round and flagged none of them inexact.
+  const auto rounds = static_cast<std::uint64_t>(result.rounds.size());
+  EXPECT_EQ(registry.counter("mfcp_regret_attributed_rounds_total").value(),
+            rounds);
+  EXPECT_EQ(registry.counter("mfcp_regret_attribution_inexact_total").value(),
+            0u);
+  // And the attribute stage is timed like the other pipeline stages.
+  bool saw_stage = false;
+  for (const auto& h : registry.snapshot().histograms) {
+    if (h.name == "mfcp_engine_stage_seconds{stage=\"attribute\"}") {
+      saw_stage = true;
+      EXPECT_EQ(h.count, rounds);
+    }
+  }
+  EXPECT_TRUE(saw_stage);
+}
+
+TEST(Engine, AttributionIsDeterministicAndJournaled) {
+  const auto attributed_run = [](std::string* journal_text) {
+    EngineFixture f;
+    std::ostringstream out;
+    obs::JsonlWriter journal(out);
+    EngineConfig cfg = small_engine_config();
+    cfg.attribution = true;
+    cfg.journal = &journal;
+    OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+    EngineResult result = eng.run();
+    *journal_text = out.str();
+    return result;
+  };
+  std::string ja;
+  std::string jb;
+  const EngineResult ra = attributed_run(&ja);
+  const EngineResult rb = attributed_run(&jb);
+
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  for (std::size_t k = 0; k < ra.rounds.size(); ++k) {
+    // Bit-identical, not approximate: attribution must not perturb the
+    // engine's determinism guarantee.
+    EXPECT_EQ(ra.rounds[k].regret, rb.rounds[k].regret);
+    EXPECT_EQ(ra.rounds[k].attribution.pred_gap,
+              rb.rounds[k].attribution.pred_gap);
+    EXPECT_EQ(ra.rounds[k].attribution.solver_gap,
+              rb.rounds[k].attribution.solver_gap);
+    EXPECT_EQ(ra.rounds[k].attribution.rounding_gap,
+              rb.rounds[k].attribution.rounding_gap);
+    EXPECT_EQ(ra.rounds[k].attribution.admission_gap,
+              rb.rounds[k].attribution.admission_gap);
+    EXPECT_EQ(ra.rounds[k].attribution.total, rb.rounds[k].attribution.total);
+  }
+  // The journal carries the decomposition and stays byte-stable.
+  EXPECT_EQ(ja, jb);
+  EXPECT_NE(ja.find("\"pred_gap\":"), std::string::npos);
+  EXPECT_NE(ja.find("\"attr_total\":"), std::string::npos);
+}
+
 TEST(Engine, TelemetryCountsMatchTheRunRecords) {
   EngineFixture f;
   obs::MetricsRegistry registry;

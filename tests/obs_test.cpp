@@ -1,8 +1,13 @@
 // Tests for the observability subsystem: metrics registry (including the
 // sharded counters/histograms under real thread contention), snapshot
-// merging, Prometheus exposition, the JSONL writer's byte-stability, and
-// span tracing.
+// merging, quantile estimation, Prometheus exposition, the JSONL writer's
+// byte-stability, span tracing, and the /metrics HTTP exporter.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
@@ -11,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
@@ -277,6 +283,26 @@ TEST(JsonlWriter, EscapesStringsAndCountsRecords) {
   EXPECT_EQ(out.str(), "{\"msg\":\"a\\\"b\\\\c\\n\"}\n");
 }
 
+TEST(JsonlWriter, EscapesControlCharacters) {
+  std::ostringstream out;
+  JsonlWriter journal(out);
+  // Short-form escapes for the named controls, \u00XX for the rest — a
+  // raw control byte in the output would make the line invalid JSON.
+  journal.field("msg", std::string_view{"\r\b\f\x01\x1f ok"});
+  journal.end_record();
+  EXPECT_EQ(out.str(), "{\"msg\":\"\\r\\b\\f\\u0001\\u001f ok\"}\n");
+}
+
+TEST(JsonlWriter, NonFiniteDoublesSerializeAsNull) {
+  std::ostringstream out;
+  JsonlWriter journal(out);
+  journal.field("nan", std::numeric_limits<double>::quiet_NaN())
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity());
+  journal.end_record();
+  EXPECT_EQ(out.str(), "{\"nan\":null,\"inf\":null,\"ninf\":null}\n");
+}
+
 TEST(JsonNumber, RoundTripsAndHandlesNonFinite) {
   EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
   EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
@@ -322,6 +348,222 @@ TEST(TraceRing, KeepsNewestSpansOldestFirst) {
   }
   ring.clear();
   EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, DrainToWritesJsonlAndClears) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    SpanRecord rec;
+    rec.name = "stage";
+    rec.start_ns = 100 + i;
+    rec.duration_ns = 10 * (i + 1);
+    rec.thread = 7;
+    ring.record(rec);
+  }
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  EXPECT_EQ(ring.drain_to(writer), 3u);
+  EXPECT_EQ(writer.records_written(), 3u);
+  EXPECT_TRUE(ring.snapshot().empty());  // drained
+  EXPECT_EQ(ring.recorded(), 3u);       // lifetime counter survives
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"span\":\"stage\",\"start_ns\":100,"
+                      "\"duration_ns\":10,\"thread\":7}"),
+            std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  // Draining again is a no-op.
+  EXPECT_EQ(ring.drain_to(writer), 0u);
+}
+
+// ---------------------------------------------------------- quantiles --
+
+HistogramSnapshot histogram_snapshot_of(MetricsRegistry& registry,
+                                        std::string_view name) {
+  for (auto& h : registry.snapshot().histograms) {
+    if (h.name == name) {
+      return h;
+    }
+  }
+  ADD_FAILURE() << "histogram " << name << " not found";
+  return {};
+}
+
+TEST(HistogramQuantile, EmptyHistogramHasNoEstimate) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0, 2.0};
+  registry.histogram("empty", kBounds);
+  const auto snap = histogram_snapshot_of(registry, "empty");
+  EXPECT_TRUE(std::isnan(histogram_quantile(snap, 0.5)));
+}
+
+TEST(HistogramQuantile, InterpolatesWithinASingleBucket) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {10.0};
+  Histogram& h = registry.histogram("one_bucket", kBounds);
+  for (int i = 0; i < 4; ++i) {
+    h.observe(5.0);
+  }
+  const auto snap = histogram_snapshot_of(registry, "one_bucket");
+  // All mass in [0, 10): linear interpolation puts the median at rank
+  // 2 of 4 -> halfway through the bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 1.0), 10.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, -3.0),
+                   histogram_quantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 42.0),
+                   histogram_quantile(snap, 1.0));
+}
+
+TEST(HistogramQuantile, OverflowMassClampsToLargestFiniteBound) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0, 2.0};
+  Histogram& h = registry.histogram("overflow", kBounds);
+  h.observe(0.5);
+  h.observe(100.0);  // +Inf bucket
+  h.observe(200.0);
+  const auto snap = histogram_snapshot_of(registry, "overflow");
+  // p99 lands in the open-ended bucket; the honest answer is the largest
+  // finite boundary, not an invented extrapolation.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, MatchesExactRanksAcrossBuckets) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0, 2.0, 4.0};
+  Histogram& h = registry.histogram("spread", kBounds);
+  h.observe(0.5);  // bucket [.., 1)
+  h.observe(1.5);  // bucket [1, 2)
+  h.observe(3.0);  // bucket [2, 4)
+  h.observe(3.5);
+  const auto snap = histogram_snapshot_of(registry, "spread");
+  // rank(0.5) = 2 of 4: exactly exhausts the second bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.5), 2.0);
+  // rank(0.75) = 3 of 4: halfway through the third bucket's two samples.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.75), 3.0);
+}
+
+TEST(Prometheus, QuantileGaugesFollowHistogramsWithoutInterleaving) {
+  MetricsRegistry registry;
+  constexpr double kBounds[] = {1.0, 2.0};
+  registry.histogram("lat{stage=\"a\"}", kBounds).observe(0.5);
+  registry.histogram("lat{stage=\"b\"}", kBounds).observe(1.5);
+  registry.histogram("silent", kBounds);  // empty: no quantile series
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE lat_quantile gauge"), std::string::npos);
+  EXPECT_NE(text.find("lat_quantile{stage=\"a\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_quantile{stage=\"b\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_EQ(text.find("silent_quantile"), std::string::npos);
+  // One header for the whole _quantile family, after every histogram
+  // sample (families must stay contiguous for strict parsers).
+  const auto header = text.find("# TYPE lat_quantile gauge");
+  EXPECT_EQ(text.find("# TYPE lat_quantile gauge", header + 1),
+            std::string::npos);
+  EXPECT_GT(header, text.rfind("_bucket"));
+}
+
+// ------------------------------------------------------- http exporter --
+
+TEST(HttpExporter, ParsesWellFormedRequestLines) {
+  const auto req = HttpExporter::parse_request_line("GET /metrics HTTP/1.1");
+  EXPECT_TRUE(req.valid);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  const auto crlf =
+      HttpExporter::parse_request_line("GET /healthz HTTP/1.0\r");
+  EXPECT_TRUE(crlf.valid);
+  EXPECT_EQ(crlf.path, "/healthz");
+}
+
+TEST(HttpExporter, RejectsMalformedRequestLines) {
+  EXPECT_FALSE(HttpExporter::parse_request_line("").valid);
+  EXPECT_FALSE(HttpExporter::parse_request_line("GET").valid);
+  EXPECT_FALSE(HttpExporter::parse_request_line("GET /metrics").valid);
+  EXPECT_FALSE(HttpExporter::parse_request_line("GET  HTTP/1.1").valid);
+  EXPECT_FALSE(
+      HttpExporter::parse_request_line("GET /a HTTP/1.1 junk").valid);
+}
+
+TEST(HttpExporter, RespondRoutesAndStatusCodes) {
+  MetricsRegistry registry;
+  registry.counter("pings_total").add(2);
+  const auto snapshot = [&registry] { return registry.snapshot(); };
+
+  const std::string metrics = HttpExporter::respond(
+      HttpExporter::parse_request_line("GET /metrics HTTP/1.1"), snapshot);
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("pings_total 2"), std::string::npos);
+
+  const std::string health = HttpExporter::respond(
+      HttpExporter::parse_request_line("GET /healthz HTTP/1.1"), snapshot);
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string missing = HttpExporter::respond(
+      HttpExporter::parse_request_line("GET /nope HTTP/1.1"), snapshot);
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+
+  const std::string post = HttpExporter::respond(
+      HttpExporter::parse_request_line("POST /metrics HTTP/1.1"), snapshot);
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos);
+  EXPECT_NE(post.find("Allow: GET"), std::string::npos);
+
+  const std::string bad =
+      HttpExporter::respond(HttpExporter::parse_request_line(""), snapshot);
+  EXPECT_NE(bad.find("404"), std::string::npos);
+}
+
+/// One real scrape through the socket path: connect to the ephemeral
+/// port, send a request, read the full response.
+std::string scrape(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpExporter, ServesLiveSnapshotsOverRealSockets) {
+  MetricsRegistry registry;
+  registry.counter("live_total").add(1);
+  HttpExporter exporter([&registry] { return registry.snapshot(); });
+  ASSERT_GT(exporter.port(), 0);  // ephemeral port was bound
+
+  const std::string first =
+      scrape(exporter.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(first.find("200 OK"), std::string::npos);
+  EXPECT_NE(first.find("live_total 1"), std::string::npos);
+
+  // The exporter snapshots per scrape: a later request sees newer values.
+  registry.counter("live_total").add(4);
+  const std::string second =
+      scrape(exporter.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(second.find("live_total 5"), std::string::npos);
+
+  const std::string health =
+      scrape(exporter.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+
+  exporter.stop();
+  EXPECT_EQ(exporter.requests_served(), 3u);
+  exporter.stop();  // idempotent
 }
 
 }  // namespace

@@ -1,0 +1,379 @@
+// obs_selfcheck: offline validator for the observability layer's two file
+// formats, used by CI to gate what the repo exports.
+//
+//   --exposition <file>   Prometheus text exposition (write_prometheus
+//                         output or a /metrics scrape). Checks:
+//                           * every line is a comment, a `# TYPE` header,
+//                             or a well-formed sample;
+//                           * families are contiguous (a TYPE header never
+//                             repeats) and name-sorted within each run of
+//                             the same kind;
+//                           * every sample belongs to the family declared
+//                             by the preceding TYPE header;
+//                           * histogram series have non-decreasing
+//                             cumulative `le` buckets ending at le="+Inf",
+//                             whose value equals the series' `_count`,
+//                             with `_sum` present;
+//                           * every histogram family with observations has
+//                             a sibling `<base>_quantile` gauge family.
+//
+//   --journal <file>      engine round journal (JSONL). Checks each line
+//                         is a flat JSON object and, where the regret-
+//                         attribution fields are present, that they sum to
+//                         attr_total within 1e-6 (the decomposition's
+//                         exactness invariant, re-verified from the
+//                         serialized values).
+//   --require-attribution fail unless at least one journal record carries
+//                         the attribution fields.
+//
+// Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage/IO.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+int failures = 0;
+
+void fail(const std::string& what, std::size_t line_no,
+          const std::string& line) {
+  std::fprintf(stderr, "FAIL line %zu: %s\n  %s\n", line_no, what.c_str(),
+               line.c_str());
+  ++failures;
+}
+
+/// "name{labels} value" or "name value" -> parts. Returns false on a line
+/// that does not scan.
+struct Sample {
+  std::string name;    // base + suffixes, labels stripped
+  std::string labels;  // inside the braces, empty if none
+  double value = 0.0;
+};
+
+std::optional<Sample> parse_sample(const std::string& line) {
+  Sample s;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+    ++i;
+  }
+  if (i == 0 || i == line.size()) {
+    return std::nullopt;
+  }
+  s.name = line.substr(0, i);
+  if (line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != ' ') {
+      return std::nullopt;
+    }
+    s.labels = line.substr(i + 1, close - i - 1);
+    i = close + 1;
+  }
+  const char* start = line.c_str() + i + 1;
+  char* end = nullptr;
+  s.value = std::strtod(start, &end);
+  if (end == start) {
+    // write_prometheus renders infinities as +Inf/-Inf.
+    if (std::strcmp(start, "+Inf") == 0) {
+      s.value = HUGE_VAL;
+    } else if (std::strcmp(start, "-Inf") == 0) {
+      s.value = -HUGE_VAL;
+    } else {
+      return std::nullopt;
+    }
+  } else if (*end != '\0') {
+    return std::nullopt;
+  }
+  return s;
+}
+
+/// Strips one `le="..."` pair out of a label string, returning the rest
+/// (the series key) and the bound. nullopt when no le label exists.
+std::optional<std::pair<std::string, std::string>> split_le(
+    const std::string& labels) {
+  const std::size_t pos = labels.find("le=\"");
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::size_t close = labels.find('"', pos + 4);
+  if (close == std::string::npos) {
+    return std::nullopt;
+  }
+  std::string rest = labels.substr(0, pos) + labels.substr(close + 1);
+  // Tidy dangling commas left by the removal.
+  while (!rest.empty() && (rest.back() == ',')) {
+    rest.pop_back();
+  }
+  if (!rest.empty() && rest.front() == ',') {
+    rest.erase(rest.begin());
+  }
+  return std::make_pair(rest, labels.substr(pos + 4, close - pos - 4));
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int check_exposition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open exposition file %s\n", path.c_str());
+    return 2;
+  }
+
+  std::string family;       // base name of the current TYPE header
+  std::string family_kind;  // counter | gauge | histogram
+  std::set<std::string> seen_families;
+  std::string prev_family_in_run;  // for the per-kind sort check
+  std::string prev_kind;
+
+  // Per-histogram-series state (the writer emits each series contiguously:
+  // buckets ascending, then _sum, then _count).
+  std::string series_key;  // labels minus le
+  double last_bucket = -1.0;
+  bool saw_inf = false;
+  double inf_value = 0.0;
+  bool saw_sum = false;
+  std::set<std::string> nonzero_histograms;
+  std::set<std::string> quantile_families;
+
+  auto close_series = [&](std::size_t line_no, const std::string& line) {
+    if (!series_key.empty() || last_bucket >= 0.0) {
+      if (!saw_inf) {
+        fail("histogram series ended without an le=\"+Inf\" bucket",
+             line_no, line);
+      }
+    }
+    series_key.clear();
+    last_bucket = -1.0;
+    saw_inf = false;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      close_series(line_no, line);
+      if (family_kind == "histogram" && !saw_sum) {
+        fail("histogram family '" + family + "' has no _sum sample",
+             line_no, line);
+      }
+      saw_sum = false;
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        fail("malformed TYPE header", line_no, line);
+        continue;
+      }
+      family = rest.substr(0, sp);
+      family_kind = rest.substr(sp + 1);
+      if (!seen_families.insert(family).second) {
+        fail("family '" + family +
+                 "' declared twice (interleaved exposition)",
+             line_no, line);
+      }
+      if (family_kind == prev_kind && family <= prev_family_in_run) {
+        fail("family '" + family + "' out of name order after '" +
+                 prev_family_in_run + "'",
+             line_no, line);
+      }
+      prev_kind = family_kind;
+      prev_family_in_run = family;
+      if (family_kind == "gauge" && ends_with(family, "_quantile")) {
+        quantile_families.insert(
+            family.substr(0, family.size() - std::strlen("_quantile")));
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;  // HELP or free-form comment
+    }
+    const std::optional<Sample> s = parse_sample(line);
+    if (!s.has_value()) {
+      fail("unparseable sample line", line_no, line);
+      continue;
+    }
+    if (family.empty()) {
+      fail("sample before any TYPE header", line_no, line);
+      continue;
+    }
+    if (family_kind == "histogram") {
+      if (s->name == family + "_bucket") {
+        const auto le = split_le(s->labels);
+        if (!le.has_value()) {
+          fail("_bucket sample without an le label", line_no, line);
+          continue;
+        }
+        if (le->first != series_key || saw_inf) {
+          close_series(line_no, line);
+          series_key = le->first;
+        }
+        if (s->value + 1e-9 < last_bucket) {
+          fail("cumulative le buckets decreased", line_no, line);
+        }
+        last_bucket = s->value;
+        if (le->second == "+Inf") {
+          saw_inf = true;
+          inf_value = s->value;
+        }
+      } else if (s->name == family + "_sum") {
+        saw_sum = true;
+      } else if (s->name == family + "_count") {
+        if (!saw_inf) {
+          fail("_count before the series' le=\"+Inf\" bucket", line_no,
+               line);
+        } else if (std::fabs(s->value - inf_value) > 1e-9) {
+          fail("le=\"+Inf\" bucket disagrees with _count", line_no, line);
+        }
+        if (s->value > 0.0) {
+          nonzero_histograms.insert(family);
+        }
+        close_series(line_no, line);
+      } else {
+        fail("sample '" + s->name + "' outside its family '" + family + "'",
+             line_no, line);
+      }
+    } else if (s->name != family) {
+      fail("sample '" + s->name + "' outside its family '" + family + "'",
+           line_no, line);
+    }
+  }
+  close_series(line_no + 1, "<eof>");
+  if (family_kind == "histogram" && !saw_sum) {
+    fail("histogram family '" + family + "' has no _sum sample",
+         line_no + 1, "<eof>");
+  }
+  for (const std::string& h : nonzero_histograms) {
+    if (quantile_families.count(h) == 0) {
+      fail("histogram '" + h +
+               "' has observations but no _quantile gauge family",
+           line_no + 1, "<eof>");
+    }
+  }
+  std::printf("exposition %s: %zu lines, %zu families, %zu histograms with "
+              "observations\n",
+              path.c_str(), line_no, seen_families.size(),
+              nonzero_histograms.size());
+  return failures == 0 ? 0 : 1;
+}
+
+/// Minimal flat-JSON number extraction: finds "key": and strtod's what
+/// follows. Good enough for the journal's writer, which never nests.
+std::optional<double> json_field(const std::string& line,
+                                 const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) {
+    return std::nullopt;  // non-numeric (e.g. null)
+  }
+  return v;
+}
+
+int check_journal(const std::string& path, bool require_attribution) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open journal file %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t attributed = 0;
+  double worst = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      fail("journal line is not a JSON object", line_no, line);
+      continue;
+    }
+    const auto pred = json_field(line, "pred_gap");
+    if (!pred.has_value()) {
+      continue;  // attribution off for this record
+    }
+    const auto solver = json_field(line, "solver_gap");
+    const auto rounding = json_field(line, "rounding_gap");
+    const auto admission = json_field(line, "admission_gap");
+    const auto total = json_field(line, "attr_total");
+    if (!solver || !rounding || !admission || !total) {
+      fail("partial attribution record", line_no, line);
+      continue;
+    }
+    const double residual =
+        std::fabs(*pred + *solver + *rounding + *admission - *total);
+    worst = std::max(worst, residual);
+    if (residual > 1e-6) {
+      fail("attribution terms do not sum to attr_total (|residual| = " +
+               std::to_string(residual) + ")",
+           line_no, line);
+    }
+    ++attributed;
+  }
+  if (require_attribution && attributed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: --require-attribution but no journal record "
+                 "carries attribution fields\n");
+    ++failures;
+  }
+  std::printf("journal %s: %zu lines, %zu attributed (worst residual "
+              "%.3g)\n",
+              path.c_str(), line_no, attributed, worst);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string exposition_path;
+  std::string journal_path;
+  bool require_attribution = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--exposition") == 0 && k + 1 < argc) {
+      exposition_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--journal") == 0 && k + 1 < argc) {
+      journal_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
+      require_attribution = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--exposition <file>] [--journal <file>] "
+                   "[--require-attribution]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (exposition_path.empty() && journal_path.empty()) {
+    std::fprintf(stderr, "nothing to check (see --help usage)\n");
+    return 2;
+  }
+  int rc = 0;
+  if (!exposition_path.empty()) {
+    rc = std::max(rc, check_exposition(exposition_path));
+  }
+  if (!journal_path.empty()) {
+    rc = std::max(rc, check_journal(journal_path, require_attribution));
+  }
+  if (rc == 0) {
+    std::printf("obs_selfcheck: all checks passed\n");
+  }
+  return rc;
+}
