@@ -1,0 +1,103 @@
+// Microbenchmarks for the socket-free HTTP core and the gateway routing
+// path: request-head parsing, response serialization, flat-JSON submit
+// parsing, and the full route_gateway_request dispatch for the hot routes
+// (POST /submit and GET /task/<id>). These bound the per-request CPU cost
+// the gateway adds on top of the engine's round loop — everything here is
+// pure string work, no sockets.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "engine/service.hpp"
+#include "net/gateway.hpp"
+#include "net/http.hpp"
+
+namespace {
+
+using namespace mfcp;
+using namespace mfcp::net;
+
+const std::string kSubmitHead =
+    "POST /submit HTTP/1.1\r\n"
+    "Host: 127.0.0.1:8080\r\n"
+    "User-Agent: loadgen/1\r\n"
+    "Accept: */*\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 96\r\n";
+
+const std::string kSubmitBody =
+    "{\"family\":\"transformer\",\"dataset\":\"europarl\",\"depth\":12,"
+    "\"width\":256,\"batch_size\":32,\"dataset_fraction\":0.5}";
+
+void BM_ParseRequestHead(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_request_head(kSubmitHead));
+  }
+}
+BENCHMARK(BM_ParseRequestHead);
+
+void BM_SerializeResponse(benchmark::State& state) {
+  const HttpResponse response =
+      json_response(200, "{\"accepted\":true,\"id\":1099511627776,"
+                         "\"pressure\":3}\n");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_response(response));
+  }
+}
+BENCHMARK(BM_SerializeResponse);
+
+void BM_ParseSubmitBody(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_submit_body(kSubmitBody));
+  }
+}
+BENCHMARK(BM_ParseSubmitBody);
+
+void BM_RouteSubmit(benchmark::State& state) {
+  // A roomy high-water mark keeps every routed request on the accept
+  // path; the inbox is drained each iteration so pressure stays flat.
+  engine::GatewayLinkConfig cfg;
+  cfg.max_pending = 1 << 16;
+  cfg.high_water = 1 << 16;
+  engine::GatewayLink link(cfg);
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/submit";
+  request.version = "HTTP/1.1";
+  request.body = kSubmitBody;
+  request.valid = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_gateway_request(request, link, nullptr));
+    (void)link.drain();
+  }
+}
+BENCHMARK(BM_RouteSubmit);
+
+void BM_RouteTaskStatus(benchmark::State& state) {
+  engine::GatewayLink link;
+  const engine::SubmitTicket ticket = link.submit(sim::TaskDescriptor{});
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/task/" + std::to_string(ticket.id);
+  request.version = "HTTP/1.1";
+  request.valid = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_gateway_request(request, link, nullptr));
+  }
+}
+BENCHMARK(BM_RouteTaskStatus);
+
+void BM_RouteStats(benchmark::State& state) {
+  engine::GatewayLink link;
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/stats";
+  request.version = "HTTP/1.1";
+  request.valid = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_gateway_request(request, link, nullptr));
+  }
+}
+BENCHMARK(BM_RouteStats);
+
+}  // namespace

@@ -17,13 +17,32 @@
 // The registry is also served live over HTTP while the demo runs: scrape
 // GET /metrics (Prometheus text) or GET /healthz on the printed port.
 //
+// Two modes:
+//
+//   batch (default)     consume the synthetic arrival stream to
+//                       exhaustion, exporter on --serve-port
+//   gateway             `--gateway-port N` starts the platform gateway
+//                       (POST /submit, GET /task/<id>, /stats, /metrics,
+//                       /healthz) and runs the engine in real-time serve
+//                       mode until SIGINT/SIGTERM or --serve-seconds;
+//                       tools/loadgen is the matching client
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: arrivals stop, the
+// queue drains through flush rounds, the journal and span trace are
+// flushed to disk, and the final metrics exposition is printed.
+//
 // Run:  ./build/examples/online_platform
 //       ./build/examples/online_platform --serve-port 9464
 //       ./build/examples/online_platform --linger-seconds 30
 //           keeps the exporter up after the run so a scraper (or curl)
 //           can read the final state — the CI smoke job relies on this.
+//       ./build/examples/online_platform --gateway-port 0 --serve-seconds 10
+//           serve mode on an ephemeral port, stopping after 10 s.
 // Tip:  MFCP_LOG_LEVEL=info ./build/examples/online_platform
 //       also prints drift/retrain log lines from inside the engine.
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,28 +52,63 @@
 
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
+#include "net/gateway.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/sinks.hpp"
 #include "sim/dataset.hpp"
 
 using namespace mfcp;
 
+namespace {
+
+// Signal handlers may only do async-signal-safe work: one atomic store.
+// Both the engine (stop_flag) and the serve loop poll it.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int serve_port = 0;  // 0 = ephemeral, chosen by the kernel
   int linger_seconds = 0;
+  int gateway_port = -1;  // -1 = batch mode; >= 0 starts the gateway
+  double serve_seconds = 0.0;  // 0 = until SIGINT/SIGTERM
+  double hours_per_second = 60.0;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
       serve_port = std::atoi(argv[++k]);
     } else if (std::strcmp(argv[k], "--linger-seconds") == 0 &&
                k + 1 < argc) {
       linger_seconds = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--gateway-port") == 0 && k + 1 < argc) {
+      gateway_port = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--serve-seconds") == 0 && k + 1 < argc) {
+      serve_seconds = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--sim-hours-per-second") == 0 &&
+               k + 1 < argc) {
+      hours_per_second = std::atof(argv[++k]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--serve-port N] [--linger-seconds S]\n",
+                   "usage: %s [--serve-port N] [--linger-seconds S]\n"
+                   "          [--gateway-port N] [--serve-seconds S]\n"
+                   "          [--sim-hours-per-second X]\n",
                    argv[0]);
       return 2;
     }
   }
+  const bool gateway_mode = gateway_port >= 0;
+  install_signal_handlers();
   const std::size_t num_clusters = 3;
 
   // Environment + profiled dataset for pretraining.
@@ -91,6 +145,10 @@ int main(int argc, char** argv) {
   // the drifted cluster — lower the trip threshold so the diluted error
   // signal still registers in this short demo.
   cfg.trainer.drift.ratio_threshold = 1.25;
+  // Post-drift evidence dominates each retrain burst while the pre-drift
+  // tail still regularizes it (see OnlineTrainerConfig).
+  cfg.trainer.replay_recency_half_life = 128.0;
+  cfg.stop_flag = &g_stop;
 
   engine::DriftEventSpec drift;
   drift.at_hours = 2.5;
@@ -111,31 +169,105 @@ int main(int argc, char** argv) {
   cfg.attribution = true;
   obs::set_default_registry(&registry);
 
-  // Live scrape endpoint: the exporter snapshots the registry on every
-  // GET /metrics, so a scraper watches the run converge in real time.
-  obs::HttpExporterConfig http_cfg;
-  http_cfg.port = static_cast<std::uint16_t>(serve_port);
-  obs::HttpExporter exporter([&registry] { return registry.snapshot(); },
-                             http_cfg);
-  std::printf("exporter listening on http://127.0.0.1:%u\n",
-              static_cast<unsigned>(exporter.port()));
-  std::fflush(stdout);
-
   ThreadPool pool;
   engine::OnlineEngine eng(cfg, platform, embedder, predictor, &pool);
-  const engine::EngineResult result = eng.run();
-  obs::set_default_registry(nullptr);
+  engine::EngineResult result;
 
-  std::printf("\nround  t(h)   trig     n  wait(h)  regret  roll    "
-              "drift   pred    round'g retrain\n");
-  for (const auto& r : result.rounds) {
-    std::printf("%5zu  %5.2f  %-7s %2zu  %6.3f  %6.3f  %6.3f  %6.3f  "
-                "%6.3f  %6.3f  %s\n",
-                r.round, r.close_hours, to_string(r.trigger).c_str(),
-                r.batch, r.max_wait_hours, r.regret, r.rolling_regret,
-                r.drift_stat, r.attribution.pred_gap,
-                r.attribution.rounding_gap,
-                r.retrained ? "<== retrained" : "");
+  if (gateway_mode) {
+    // Platform gateway: external submissions over HTTP drive the engine
+    // in real time; /metrics and /healthz ride on the same server.
+    engine::GatewayLink link;
+    net::GatewayConfig gateway_cfg;
+    gateway_cfg.http.port = static_cast<std::uint16_t>(gateway_port);
+    net::PlatformGateway gateway(link, &registry, &trace, gateway_cfg);
+    std::printf("gateway listening on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(gateway.port()));
+    std::fflush(stdout);
+
+    // Optional wall-clock stop for unattended runs (CI): behaves exactly
+    // like a signal, just on a timer.
+    std::thread timer;
+    if (serve_seconds > 0.0) {
+      timer = std::thread([serve_seconds] {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(serve_seconds);
+        while (std::chrono::steady_clock::now() < deadline &&
+               !g_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        g_stop.store(true, std::memory_order_relaxed);
+      });
+    }
+
+    engine::ServeConfig serve_cfg;
+    serve_cfg.hours_per_second = hours_per_second;
+    result = eng.serve(link, serve_cfg);
+
+    if (timer.joinable()) {
+      g_stop.store(true, std::memory_order_relaxed);
+      timer.join();
+    }
+    const engine::ServiceStats stats = link.stats();
+    std::printf("\ngateway: %llu accepted, %llu rejected busy; task states "
+                "%llu matched / %llu dispatched / %llu expired / %llu "
+                "rejected\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.rejected_busy),
+                static_cast<unsigned long long>(stats.tasks.matched),
+                static_cast<unsigned long long>(stats.tasks.dispatched),
+                static_cast<unsigned long long>(stats.tasks.expired),
+                static_cast<unsigned long long>(stats.tasks.rejected));
+    if (linger_seconds > 0) {
+      std::printf("gateway lingering for %ds (%llu requests served so "
+                  "far)...\n",
+                  linger_seconds,
+                  static_cast<unsigned long long>(
+                      gateway.requests_served()));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+    }
+    gateway.stop();
+  } else {
+    // Live scrape endpoint: the exporter snapshots the registry on every
+    // GET /metrics, so a scraper watches the run converge in real time.
+    obs::HttpExporterConfig http_cfg;
+    http_cfg.port = static_cast<std::uint16_t>(serve_port);
+    obs::HttpExporter exporter(
+        [&registry] { return registry.snapshot(); }, http_cfg);
+    std::printf("exporter listening on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(exporter.port()));
+    std::fflush(stdout);
+
+    result = eng.run();
+
+    std::printf("\nround  t(h)   trig     n  wait(h)  regret  roll    "
+                "drift   pred    round'g retrain\n");
+    for (const auto& r : result.rounds) {
+      std::printf("%5zu  %5.2f  %-7s %2zu  %6.3f  %6.3f  %6.3f  %6.3f  "
+                  "%6.3f  %6.3f  %s\n",
+                  r.round, r.close_hours, to_string(r.trigger).c_str(),
+                  r.batch, r.max_wait_hours, r.regret, r.rolling_regret,
+                  r.drift_stat, r.attribution.pred_gap,
+                  r.attribution.rounding_gap,
+                  r.retrained ? "<== retrained" : "");
+    }
+
+    if (linger_seconds > 0) {
+      std::printf("exporter lingering for %ds (%llu requests served so "
+                  "far)...\n",
+                  linger_seconds,
+                  static_cast<unsigned long long>(
+                      exporter.requests_served()));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+    }
+    exporter.stop();
+  }
+  obs::set_default_registry(nullptr);
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::printf("\nstop requested: arrivals halted, queue drained via "
+                "flush rounds\n");
   }
 
   std::printf("\n%zu arrivals -> %zu rounds, %zu dispatched, %zu dropped "
@@ -151,10 +283,14 @@ int main(int argc, char** argv) {
   // Prometheus text exposition.
   result.total.to_registry(registry);
   journal.flush();
-  std::printf("\njournal: online_platform.jsonl (%zu records); trace ring "
-              "holds the last %zu of %llu spans\n",
-              journal.records_written(), trace.snapshot().size(),
-              static_cast<unsigned long long>(trace.recorded()));
+  // Drain the retained stage spans alongside the journal so a cut-short
+  // run still leaves its last traces on disk.
+  obs::JsonlWriter spans("online_platform.spans");
+  const std::size_t drained = trace.drain_to(spans);
+  spans.flush();
+  std::printf("\njournal: online_platform.jsonl (%zu records); "
+              "online_platform.spans holds the last %zu spans\n",
+              journal.records_written(), drained);
   // Quantiles the scrape-side would derive from the histogram buckets —
   // printed here from the same estimator the exposition's _quantile
   // gauges use.
@@ -175,15 +311,5 @@ int main(int argc, char** argv) {
   // Persist what the online trainer learned.
   eng.checkpoint("online_platform.ckpt");
   std::printf("engine state checkpointed to online_platform.ckpt\n");
-
-  if (linger_seconds > 0) {
-    std::printf("exporter lingering for %ds (%llu requests served so "
-                "far)...\n",
-                linger_seconds,
-                static_cast<unsigned long long>(exporter.requests_served()));
-    std::fflush(stdout);
-    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
-  }
-  exporter.stop();
   return 0;
 }

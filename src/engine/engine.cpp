@@ -1,8 +1,10 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <numeric>
 
 #include "support/check.hpp"
@@ -122,52 +124,81 @@ void OnlineEngine::advance_clock(double to_hours) {
   clock_hours_ = to_hours;
 }
 
+bool OnlineEngine::finish_round(RoundTrigger trigger, RunLog& log) {
+  queue_.expire(clock_hours_);
+  if (queue_.empty()) {
+    if (link_ != nullptr) {
+      link_->note_queue_depth(0);
+    }
+    return false;
+  }
+  RoundRecord rec = run_round(trigger);
+
+  // Trailing rolling window for the CSV...
+  log.recent_regret.push_back(rec.regret);
+  if (log.recent_regret.size() > config_.metrics_window) {
+    log.recent_regret.pop_front();
+  }
+  rec.rolling_regret = std::accumulate(log.recent_regret.begin(),
+                                       log.recent_regret.end(), 0.0) /
+                       static_cast<double>(log.recent_regret.size());
+
+  // ...and tumbling windows folded into the running total via the
+  // streaming reset()/merge() pair.
+  core::MatchOutcome outcome;
+  outcome.regret = rec.regret;
+  outcome.reliability = rec.reliability;
+  outcome.utilization = rec.utilization;
+  outcome.makespan = rec.makespan;
+  outcome.feasible = rec.reliability >= config_.gamma;
+  log.window.add(outcome);
+  if (log.window.rounds() >= config_.metrics_window) {
+    log.result.windows.push_back(WindowSummary{rec.round, log.window});
+    log.result.total.merge(log.window);
+    log.window.reset();
+  }
+  if (config_.journal != nullptr) {
+    append_round_journal(*config_.journal, rec);
+  }
+  if (link_ != nullptr) {
+    link_->note_round(rec.round, rec.close_hours, rec.regret, rec.batch);
+    link_->note_queue_depth(queue_.depth());
+  }
+  log.result.rounds.push_back(std::move(rec));
+  return true;
+}
+
+void OnlineEngine::finalize(RunLog& log, double wall_seconds) {
+  // Carry the partial final window into the totals.
+  if (log.window.rounds() > 0) {
+    log.result.windows.push_back(
+        WindowSummary{log.result.rounds.back().round, log.window});
+    log.result.total.merge(log.window);
+  }
+  counters_.dropped_capacity = queue_.stats().dropped_capacity;
+  counters_.expired = queue_.stats().expired;
+  counters_.dispatched = queue_.stats().dispatched;
+  counters_.sim_time_hours = clock_hours_;
+  log.result.counters = counters_;
+  log.result.queue = queue_.stats();
+  log.result.wall_seconds = wall_seconds;
+}
+
 EngineResult OnlineEngine::run() {
   MFCP_CHECK(!ran_, "OnlineEngine::run is single-shot per instance");
   ran_ = true;
 
   Stopwatch wall;
-  EngineResult result;
-  core::MetricsAccumulator window;
-  std::deque<double> recent_regret;
-
-  auto close_round = [&](RoundTrigger trigger) {
-    queue_.expire(clock_hours_);
-    if (queue_.empty()) {
-      return;
-    }
-    RoundRecord rec = run_round(trigger);
-
-    // Trailing rolling window for the CSV...
-    recent_regret.push_back(rec.regret);
-    if (recent_regret.size() > config_.metrics_window) {
-      recent_regret.pop_front();
-    }
-    rec.rolling_regret =
-        std::accumulate(recent_regret.begin(), recent_regret.end(), 0.0) /
-        static_cast<double>(recent_regret.size());
-
-    // ...and tumbling windows folded into the running total via the
-    // streaming reset()/merge() pair.
-    core::MatchOutcome outcome;
-    outcome.regret = rec.regret;
-    outcome.reliability = rec.reliability;
-    outcome.utilization = rec.utilization;
-    outcome.makespan = rec.makespan;
-    outcome.feasible = rec.reliability >= config_.gamma;
-    window.add(outcome);
-    if (window.rounds() >= config_.metrics_window) {
-      result.windows.push_back(WindowSummary{rec.round, window});
-      result.total.merge(window);
-      window.reset();
-    }
-    if (config_.journal != nullptr) {
-      append_round_journal(*config_.journal, rec);
-    }
-    result.rounds.push_back(rec);
-  };
+  RunLog log;
 
   for (;;) {
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_relaxed)) {
+      // Cooperative stop: no further arrivals, drain what is waiting.
+      while (finish_round(RoundTrigger::kFlush, log)) {
+      }
+      break;
+    }
     const std::optional<double> next_arrival = arrivals_.peek_time();
     std::optional<double> next_timeout;
     if (!queue_.empty()) {
@@ -184,35 +215,152 @@ EngineResult OnlineEngine::run() {
         ++counters_.admitted;
       }
       if (queue_.depth() >= batcher_.config().max_batch) {
-        close_round(RoundTrigger::kSize);
+        finish_round(RoundTrigger::kSize, log);
       }
     } else if (next_timeout.has_value()) {
       advance_clock(*next_timeout);
-      close_round(RoundTrigger::kTimeout);
+      finish_round(RoundTrigger::kTimeout, log);
     } else if (!queue_.empty()) {
       // Stream exhausted with a partial batch waiting: drain immediately
       // instead of simulating out the timeout.
-      close_round(RoundTrigger::kFlush);
+      finish_round(RoundTrigger::kFlush, log);
     } else {
       break;
     }
   }
 
-  // Carry the partial final window into the totals.
-  if (window.rounds() > 0) {
-    result.windows.push_back(
-        WindowSummary{result.rounds.back().round, window});
-    result.total.merge(window);
+  finalize(log, wall.seconds());
+  return std::move(log.result);
+}
+
+EngineResult OnlineEngine::serve(GatewayLink& link,
+                                 const ServeConfig& serve_config) {
+  MFCP_CHECK(!ran_, "OnlineEngine::run/serve is single-shot per instance");
+  ran_ = true;
+  MFCP_CHECK(serve_config.hours_per_second > 0.0,
+             "serve needs a positive simulated-clock rate");
+
+  link_ = &link;
+  // Externally submitted tasks lost by the queue become terminal in the
+  // status table (capacity → rejected, deadline → expired).
+  queue_.set_loss_callback(
+      [this](const Arrival& a, AdmissionQueue::Loss loss) {
+        if (link_ != nullptr && a.id >= kExternalIdBase) {
+          link_->table().mark_lost(a.id,
+                                   loss == AdmissionQueue::Loss::kExpired
+                                       ? TaskState::kExpired
+                                       : TaskState::kRejected);
+        }
+      });
+  // Retry-After prior until a real round cadence is observed: one
+  // batching window of wall time per round.
+  link.configure_drain(
+      batcher_.config().max_batch,
+      batcher_.config().max_wait_hours / serve_config.hours_per_second);
+
+  Stopwatch wall;
+  RunLog log;
+  const double base_hours = clock_hours_;
+  const auto sim_now = [&] {
+    return base_hours + wall.seconds() * serve_config.hours_per_second;
+  };
+  bool stream_active = serve_config.synthetic_arrivals;
+
+  const auto admit = [&](Arrival arrival) {
+    ++counters_.arrivals;
+    queue_.expire(clock_hours_);
+    if (queue_.push(std::move(arrival))) {
+      ++counters_.admitted;
+    }
+    if (queue_.depth() >= batcher_.config().max_batch) {
+      finish_round(RoundTrigger::kSize, log);
+    }
+  };
+
+  for (;;) {
+    const bool stopping =
+        link.stop_requested() ||
+        (config_.stop_flag != nullptr &&
+         config_.stop_flag->load(std::memory_order_relaxed));
+    if (stopping) {
+      link.request_stop();  // idempotent; submit() starts rejecting
+    }
+
+    // Synthetic arrivals that are due on the simulated clock (a stopping
+    // platform stops its own stream first).
+    while (stream_active && !stopping) {
+      const std::optional<double> t = arrivals_.peek_time();
+      if (!t.has_value()) {
+        stream_active = false;
+        break;
+      }
+      if (*t > sim_now()) {
+        break;
+      }
+      advance_clock(*t);
+      admit(std::move(*arrivals_.next()));
+    }
+
+    // External submissions, stamped at the current simulated time. Even
+    // while stopping, anything accepted before the stop is still served.
+    for (ExternalSubmission& sub : link.drain()) {
+      advance_clock(std::max(sim_now(), clock_hours_));
+      Arrival arrival;
+      arrival.id = sub.id;
+      arrival.time_hours = clock_hours_;
+      arrival.deadline_hours = clock_hours_ + sub.deadline_hours;
+      arrival.task = sub.task;
+      admit(std::move(arrival));
+    }
+
+    // Timeout-triggered rounds.
+    if (!queue_.empty()) {
+      const double fire_at =
+          batcher_.timeout_at(queue_.oldest_arrival_time());
+      if (fire_at <= sim_now()) {
+        advance_clock(std::max(fire_at, clock_hours_));
+        finish_round(RoundTrigger::kTimeout, log);
+      }
+    }
+    link.note_queue_depth(queue_.depth());
+    link.note_sim_time(clock_hours_);
+
+    if (stopping) {
+      advance_clock(std::max(sim_now(), clock_hours_));
+      while (finish_round(RoundTrigger::kFlush, log)) {
+      }
+      break;
+    }
+
+    // Sleep until the next scheduled simulated event; submissions (and
+    // stop requests via their own poll bound) wake the loop early.
+    double next_hours = std::numeric_limits<double>::infinity();
+    if (!queue_.empty()) {
+      next_hours = batcher_.timeout_at(queue_.oldest_arrival_time());
+    }
+    if (stream_active) {
+      if (const std::optional<double> t = arrivals_.peek_time()) {
+        next_hours = std::min(next_hours, *t);
+      }
+    }
+    int wait_ms = serve_config.poll_ms;
+    if (std::isfinite(next_hours)) {
+      const double ms = (next_hours - sim_now()) /
+                        serve_config.hours_per_second * 1000.0;
+      wait_ms = static_cast<int>(std::clamp(
+          std::ceil(ms), 0.0, static_cast<double>(serve_config.poll_ms)));
+    }
+    if (wait_ms > 0) {
+      link.wait_for_event(std::chrono::milliseconds(wait_ms));
+    }
   }
 
-  counters_.dropped_capacity = queue_.stats().dropped_capacity;
-  counters_.expired = queue_.stats().expired;
-  counters_.dispatched = queue_.stats().dispatched;
-  counters_.sim_time_hours = clock_hours_;
-  result.counters = counters_;
-  result.queue = queue_.stats();
-  result.wall_seconds = wall.seconds();
-  return result;
+  finalize(log, wall.seconds());
+  link.note_queue_depth(queue_.depth());
+  link.note_sim_time(clock_hours_);
+  queue_.set_loss_callback(nullptr);
+  link_ = nullptr;
+  return std::move(log.result);
 }
 
 RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
@@ -292,6 +440,18 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   const core::MatchOutcome outcome =
       core::evaluate_assignment(truth, deployed, reference);
 
+  // Externally submitted tasks (serve mode) learn their assignment here.
+  if (link_ != nullptr) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (batch[j].id >= kExternalIdBase) {
+        const auto ci = static_cast<std::size_t>(deployed[j]);
+        link_->table().mark_matched(batch[j].id, ci,
+                                    platform_.cluster(ci).name(),
+                                    t_hat(ci, j), counters_.rounds);
+      }
+    }
+  }
+
   // Dispatch for real: sample success/failure on the assigned clusters.
   obs::ScopedSpan dispatch_span(telemetry_.dispatch, "dispatch",
                                 config_.trace);
@@ -318,6 +478,11 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     e.observed_time = observed;
     e.observed_success = run.succeeded[j] ? 1.0 : 0.0;
     trainer_.record(std::move(e));
+
+    if (link_ != nullptr && batch[j].id >= kExternalIdBase) {
+      link_->table().mark_dispatched(batch[j].id, observed,
+                                     run.succeeded[j]);
+    }
 
     if (config_.profile_probability > 0.0 &&
         dispatch_rng_.bernoulli(config_.profile_probability)) {

@@ -19,6 +19,8 @@
 // nondeterministic diagnostic and is excluded from metric CSVs).
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <vector>
 
 #include "engine/arrivals.hpp"
@@ -26,6 +28,7 @@
 #include "engine/checkpoint.hpp"
 #include "engine/online_trainer.hpp"
 #include "engine/queue.hpp"
+#include "engine/service.hpp"
 #include "mfcp/metrics.hpp"
 #include "mfcp/regret.hpp"
 #include "obs/attribution.hpp"
@@ -82,6 +85,13 @@ struct EngineConfig {
 
   /// Scheduled environment drift, sorted or not (the engine sorts).
   std::vector<DriftEventSpec> drift_events;
+
+  /// Optional cooperative-stop flag, polled between events: when it flips
+  /// true, run() stops consuming arrivals, drains the queue with flush
+  /// rounds, and returns. Unset (the default) preserves run-to-exhaustion
+  /// semantics exactly. This is how SIGINT/SIGTERM shut the example down
+  /// gracefully — a signal handler's atomic store is all it takes.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   /// Seeds dispatch/profiling randomness (arrival randomness is seeded by
   /// arrivals.seed; retraining by trainer.seed).
@@ -144,6 +154,22 @@ struct EngineResult {
   double wall_seconds = 0.0;
 };
 
+/// How serve() maps wall time onto the simulated clock and paces its
+/// event loop (see OnlineEngine::serve).
+struct ServeConfig {
+  /// Simulated hours that elapse per wall-clock second. Batcher timeouts
+  /// and task deadlines are simulated-time quantities, so this sets the
+  /// real-time round cadence: at 120 h/s a 0.25 h batching window closes
+  /// in ~2 ms of wall time.
+  double hours_per_second = 120.0;
+  /// Upper bound on one condition-variable wait, bounding how stale the
+  /// stop flag / signal check can get. Submissions wake the loop early.
+  int poll_ms = 20;
+  /// Also consume the config's synthetic arrival stream on the same
+  /// simulated clock (external + synthetic traffic interleave).
+  bool synthetic_arrivals = false;
+};
+
 class OnlineEngine {
  public:
   /// The engine owns its platform copy (drift events mutate it locally)
@@ -157,6 +183,17 @@ class OnlineEngine {
   /// Consumes the arrival stream to exhaustion and returns the full
   /// per-round trace. Callable once per engine instance.
   EngineResult run();
+
+  /// Real-time service mode: the engine becomes the backend of a platform
+  /// gateway. Wall time drives the simulated clock (ServeConfig), external
+  /// submissions drain from `link` into the admission queue (stamped at
+  /// the current simulated time), and their lifecycle is written to the
+  /// link's status table (queued → matched → dispatched / expired /
+  /// rejected). Runs until link.request_stop() or the config's stop_flag,
+  /// then flushes the queue and returns. Mutually exclusive with run()
+  /// (one shot per engine instance either way). Unlike run(), wall-clock
+  /// scheduling makes serve() runs nondeterministic by construction.
+  EngineResult serve(GatewayLink& link, const ServeConfig& serve_config);
 
   /// Checkpoints the predictor weights plus current engine counters.
   void checkpoint(const std::string& path);
@@ -172,8 +209,21 @@ class OnlineEngine {
   }
 
  private:
+  /// Shared per-round bookkeeping for run() and serve(): the rolling
+  /// regret window, tumbling metric windows, and the JSONL journal.
+  struct RunLog {
+    EngineResult result;
+    core::MetricsAccumulator window;
+    std::deque<double> recent_regret;
+  };
+
   void advance_clock(double to_hours);
   RoundRecord run_round(RoundTrigger trigger);
+  /// Expires the queue, runs one round if anything is left, and folds the
+  /// record into `log` (returns false when the queue emptied first).
+  bool finish_round(RoundTrigger trigger, RunLog& log);
+  /// Flushes the partial metrics window and fills result counters.
+  void finalize(RunLog& log, double wall_seconds);
   void bind_metrics();
 
   /// Cached registry handles for the round loop's own stages (the queue,
@@ -207,6 +257,9 @@ class OnlineEngine {
   EngineCounters counters_;
   Telemetry telemetry_;
   obs::AttributionRecorder attribution_recorder_;
+  /// Non-null only while serve() runs: receives status transitions for
+  /// externally submitted tasks and round/queue hints for /stats.
+  GatewayLink* link_ = nullptr;
   bool ran_ = false;
 };
 

@@ -31,15 +31,43 @@ ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
 void ReplayBuffer::add(Experience experience) {
   if (buffer_.size() < capacity_) {
     buffer_.push_back(std::move(experience));
+    seq_.push_back(next_seq_++);
     return;
   }
   buffer_[next_] = std::move(experience);
+  seq_[next_] = next_seq_++;
   next_ = (next_ + 1) % capacity_;
 }
 
 const Experience& ReplayBuffer::at(std::size_t i) const {
   MFCP_CHECK(i < buffer_.size(), "replay index out of range");
   return buffer_[i];
+}
+
+std::uint64_t ReplayBuffer::sequence(std::size_t i) const {
+  MFCP_CHECK(i < seq_.size(), "replay index out of range");
+  return seq_[i];
+}
+
+std::uint64_t ReplayBuffer::latest_sequence() const {
+  MFCP_CHECK(next_seq_ > 0, "latest_sequence on empty replay buffer");
+  return next_seq_ - 1;
+}
+
+std::vector<double> recency_weights(const ReplayBuffer& replay,
+                                    const std::vector<std::size_t>& indices,
+                                    double half_life) {
+  std::vector<double> weights(indices.size(), 1.0);
+  if (half_life <= 0.0 || indices.empty()) {
+    return weights;
+  }
+  const auto newest = static_cast<double>(replay.latest_sequence());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const double age =
+        newest - static_cast<double>(replay.sequence(indices[k]));
+    weights[k] = std::exp2(-age / half_life);
+  }
+  return weights;
 }
 
 std::vector<std::size_t> ReplayBuffer::indices_for_cluster(
@@ -197,17 +225,43 @@ void OnlineTrainer::retrain(core::PlatformPredictor& predictor) {
                      config_.learning_rate);
     const std::size_t d = replay_.at(idx[0]).features.size();
 
+    // Recency-weighted sampling (half_life > 0): a cumulative weight
+    // table turns one uniform draw into one weighted draw via binary
+    // search. half_life == 0 keeps the original uniform_index path and
+    // with it the exact historical RNG stream.
+    const double half_life = config_.replay_recency_half_life;
+    std::vector<double> cdf;
+    if (half_life > 0.0) {
+      const std::vector<double> weights =
+          recency_weights(replay_, idx, half_life);
+      cdf.resize(weights.size());
+      double acc = 0.0;
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        acc += weights[k];
+        cdf[k] = acc;
+      }
+    }
+    const auto draw = [&]() -> std::size_t {
+      if (cdf.empty()) {
+        return idx[rng_.uniform_index(idx.size())];
+      }
+      const double u = rng_.uniform() * cdf.back();
+      const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+      const std::size_t k = std::min(
+          static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+      return idx[k];
+    };
+
     for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
-      // One minibatch per epoch, sampled uniformly with replacement from
-      // this cluster's experiences — the burst is short, so epochs act as
+      // One minibatch per epoch, sampled with replacement from this
+      // cluster's experiences — the burst is short, so epochs act as
       // SGD steps over the (small) replay population.
       const std::size_t b = std::min(config_.batch_size, idx.size());
       Matrix features(b, d);
       Matrix t_target(b, 1);
       Matrix a_target(b, 1);
       for (std::size_t k = 0; k < b; ++k) {
-        const Experience& e =
-            replay_.at(idx[rng_.uniform_index(idx.size())]);
+        const Experience& e = replay_.at(draw());
         MFCP_CHECK(e.features.size() == d,
                    "replay feature dimensions disagree");
         for (std::size_t c = 0; c < d; ++c) {

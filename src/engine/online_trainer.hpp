@@ -53,6 +53,15 @@ class ReplayBuffer {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const Experience& at(std::size_t i) const;
 
+  /// Monotonic insertion sequence number of slot `i` (0 for the first
+  /// experience ever added). Recency weighting keys off this rather than
+  /// the slot index, because the ring reorders slots once it wraps.
+  [[nodiscard]] std::uint64_t sequence(std::size_t i) const;
+
+  /// Sequence number of the most recently added experience. Requires
+  /// size() > 0.
+  [[nodiscard]] std::uint64_t latest_sequence() const;
+
   /// Indices of the stored experiences that ran on cluster `i`.
   [[nodiscard]] std::vector<std::size_t> indices_for_cluster(
       std::size_t i) const;
@@ -60,8 +69,18 @@ class ReplayBuffer {
  private:
   std::size_t capacity_;
   std::size_t next_ = 0;  // ring write cursor once full
+  std::uint64_t next_seq_ = 0;
   std::vector<Experience> buffer_;
+  std::vector<std::uint64_t> seq_;  // parallel to buffer_
 };
+
+/// Unnormalized recency weights for the experiences at `indices`: an
+/// experience `a` insertions older than the buffer's newest gets weight
+/// 2^(-a / half_life). half_life <= 0 returns all-ones (uniform). Pure
+/// and deterministic — exposed for unit testing the sampling bias.
+[[nodiscard]] std::vector<double> recency_weights(
+    const ReplayBuffer& replay, const std::vector<std::size_t>& indices,
+    double half_life);
 
 struct DriftConfig {
   /// Rounds in the "recent" window whose mean error is tested.
@@ -124,6 +143,13 @@ class DriftDetector {
 
 struct OnlineTrainerConfig {
   std::size_t replay_capacity = 512;
+  /// Recency half-life for replay sampling, in insertions: when > 0, a
+  /// retrain minibatch draws experience `a` insertions old with weight
+  /// 2^(-a / half_life), so post-drift evidence dominates the burst while
+  /// the pre-drift tail still regularizes it. 0 (the default) keeps the
+  /// original uniform-with-replacement sampling — bit-for-bit, including
+  /// the RNG stream.
+  double replay_recency_half_life = 0.0;
   /// Fine-tune burst length (epochs over the replay buffer).
   std::size_t retrain_epochs = 40;
   std::size_t batch_size = 32;

@@ -51,10 +51,16 @@ bool AdmissionQueue::push(Arrival arrival) {
       if (telemetry_.dropped_capacity != nullptr) {
         telemetry_.dropped_capacity->add(1);
       }
+      if (on_loss_) {
+        on_loss_(arrival, Loss::kCapacity);
+      }
       if (track_losses_) {
         recent_losses_.push_back(std::move(arrival));
       }
       return false;
+    }
+    if (on_loss_) {
+      on_loss_(queue_.front(), Loss::kCapacity);
     }
     if (track_losses_) {
       recent_losses_.push_back(std::move(queue_.front()));
@@ -79,6 +85,9 @@ void AdmissionQueue::expire(double now) {
   // but need not stay so), so scan the whole buffer.
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->deadline_hours < now) {
+      if (on_loss_) {
+        on_loss_(*it, Loss::kExpired);
+      }
       if (track_losses_) {
         recent_losses_.push_back(std::move(*it));
       }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,20 @@ class AdmissionQueue {
   /// Empty unless loss tracking is enabled.
   [[nodiscard]] std::vector<Arrival> take_recent_losses();
 
+  /// Why an arrival was lost (see LossCallback).
+  enum class Loss : int {
+    kCapacity = 0,  // bounced or evicted by the bounded buffer
+    kExpired = 1,   // deadline passed while waiting
+  };
+
+  /// Observer invoked synchronously on every loss, independent of the
+  /// attribution stash above. The engine's serve mode uses it to mark
+  /// externally submitted tasks rejected/expired in the status table.
+  using LossCallback = std::function<void(const Arrival&, Loss)>;
+  void set_loss_callback(LossCallback callback) {
+    on_loss_ = std::move(callback);
+  }
+
   [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
 
@@ -100,6 +115,7 @@ class AdmissionQueue {
   Telemetry telemetry_;
   bool track_losses_ = false;
   std::vector<Arrival> recent_losses_;
+  LossCallback on_loss_;
 };
 
 }  // namespace mfcp::engine

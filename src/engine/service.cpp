@@ -1,0 +1,243 @@
+#include "engine/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mfcp::engine {
+
+std::string to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kQueued:
+      return "queued";
+    case TaskState::kMatched:
+      return "matched";
+    case TaskState::kDispatched:
+      return "dispatched";
+    case TaskState::kExpired:
+      return "expired";
+    case TaskState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------- status table --
+
+std::uint64_t TaskStatusTable::insert(double submit_hours) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  TaskStatus s;
+  s.id = id;
+  s.state = TaskState::kQueued;
+  s.submit_hours = submit_hours;
+  tasks_.emplace(id, std::move(s));
+  ++counts_.submitted;
+  ++counts_.queued;
+  return id;
+}
+
+void TaskStatusTable::mark_matched(std::uint64_t id, std::size_t cluster,
+                                   std::string cluster_name,
+                                   double predicted_hours,
+                                   std::uint64_t round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.state != TaskState::kQueued) {
+    return;  // unknown or already advanced; transitions are forward-only
+  }
+  it->second.state = TaskState::kMatched;
+  it->second.cluster = cluster;
+  it->second.cluster_name = std::move(cluster_name);
+  it->second.predicted_hours = predicted_hours;
+  it->second.round = round;
+  --counts_.queued;
+  ++counts_.matched;
+}
+
+void TaskStatusTable::mark_dispatched(std::uint64_t id,
+                                      double realized_hours,
+                                      bool succeeded) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.state != TaskState::kMatched) {
+    return;
+  }
+  it->second.state = TaskState::kDispatched;
+  it->second.realized_hours = realized_hours;
+  it->second.succeeded = succeeded;
+  --counts_.matched;
+  ++counts_.dispatched;
+}
+
+void TaskStatusTable::mark_lost(std::uint64_t id, TaskState state) {
+  MFCP_CHECK(state == TaskState::kExpired || state == TaskState::kRejected,
+             "mark_lost takes a terminal loss state");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.state != TaskState::kQueued) {
+    return;  // only waiting tasks can be lost
+  }
+  it->second.state = state;
+  --counts_.queued;
+  if (state == TaskState::kExpired) {
+    ++counts_.expired;
+  } else {
+    ++counts_.rejected;
+  }
+}
+
+std::optional<TaskStatus> TaskStatusTable::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+TaskStatusTable::Counts TaskStatusTable::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+// ------------------------------------------------------------ link ------
+
+GatewayLink::GatewayLink(GatewayLinkConfig config) : config_(config) {
+  MFCP_CHECK(config_.max_pending > 0, "gateway inbox must be bounded > 0");
+  MFCP_CHECK(config_.high_water > 0, "gateway high water must be positive");
+  MFCP_CHECK(config_.default_deadline_hours > 0.0,
+             "default deadline must be positive");
+}
+
+std::size_t GatewayLink::pressure() const {
+  std::size_t inbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inbox = inbox_.size();
+  }
+  return inbox + queue_depth_.load(std::memory_order_relaxed);
+}
+
+double GatewayLink::retry_after_seconds(std::size_t pressure) const {
+  // How many rounds must close before the backlog falls back under the
+  // high-water mark, times the observed (or configured prior) wall-clock
+  // round cadence.
+  const std::size_t batch =
+      std::max<std::size_t>(1, round_batch_.load(std::memory_order_relaxed));
+  const std::size_t excess =
+      pressure >= config_.high_water ? pressure - config_.high_water + 1 : 1;
+  const double rounds =
+      std::ceil(static_cast<double>(excess) / static_cast<double>(batch));
+  const double cadence = round_seconds_ewma_.load(std::memory_order_relaxed);
+  return std::max(config_.retry_after_floor_seconds,
+                  rounds * std::max(cadence, 1e-3));
+}
+
+SubmitTicket GatewayLink::submit(const sim::TaskDescriptor& task,
+                                 double deadline_hours) {
+  SubmitTicket ticket;
+  if (stop_requested()) {
+    // Draining: the platform no longer accepts work. Pressure 0 keeps the
+    // Retry-After at its floor — a restarted platform is ready at once.
+    ticket.retry_after_seconds = config_.retry_after_floor_seconds;
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    return ticket;
+  }
+  const double deadline =
+      deadline_hours > 0.0 ? deadline_hours : config_.default_deadline_hours;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t depth =
+        inbox_.size() + queue_depth_.load(std::memory_order_relaxed);
+    ticket.pressure = depth;
+    if (depth >= config_.high_water || inbox_.size() >= config_.max_pending) {
+      ticket.retry_after_seconds = retry_after_seconds(depth);
+      rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+      return ticket;
+    }
+    ticket.accepted = true;
+    ticket.id =
+        table_.insert(sim_time_hours_.load(std::memory_order_relaxed));
+    inbox_.push_back(ExternalSubmission{ticket.id, task, deadline});
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ready_.notify_one();
+  return ticket;
+}
+
+std::vector<ExternalSubmission> GatewayLink::drain() {
+  std::vector<ExternalSubmission> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(inbox_.size());
+  while (!inbox_.empty()) {
+    out.push_back(std::move(inbox_.front()));
+    inbox_.pop_front();
+  }
+  return out;
+}
+
+bool GatewayLink::wait_for_event(std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return ready_.wait_for(lock, wait, [this] {
+    return !inbox_.empty() || stop_.load(std::memory_order_relaxed);
+  });
+}
+
+void GatewayLink::note_round(std::uint64_t round, double close_hours,
+                             double regret, std::size_t batch) {
+  rounds_.store(round + 1, std::memory_order_relaxed);
+  last_round_close_hours_.store(close_hours, std::memory_order_relaxed);
+  tasks_matched_.fetch_add(batch, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cumulative_regret_.store(
+        cumulative_regret_.load(std::memory_order_relaxed) + regret,
+        std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    if (saw_round_) {
+      const double dt =
+          std::chrono::duration<double>(now - last_round_wall_).count();
+      const double prev = round_seconds_ewma_.load(std::memory_order_relaxed);
+      round_seconds_ewma_.store(prev == 0.0 ? dt : 0.8 * prev + 0.2 * dt,
+                                std::memory_order_relaxed);
+    }
+    last_round_wall_ = now;
+    saw_round_ = true;
+  }
+}
+
+void GatewayLink::configure_drain(std::size_t round_batch,
+                                  double expected_round_seconds) {
+  round_batch_.store(std::max<std::size_t>(1, round_batch),
+                     std::memory_order_relaxed);
+  if (round_seconds_ewma_.load(std::memory_order_relaxed) == 0.0) {
+    round_seconds_ewma_.store(expected_round_seconds,
+                              std::memory_order_relaxed);
+  }
+}
+
+ServiceStats GatewayLink::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.inbox_depth = inbox_.size();
+  }
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  s.rounds = rounds_.load(std::memory_order_relaxed);
+  s.tasks_matched = tasks_matched_.load(std::memory_order_relaxed);
+  s.sim_time_hours = sim_time_hours_.load(std::memory_order_relaxed);
+  s.last_round_close_hours =
+      last_round_close_hours_.load(std::memory_order_relaxed);
+  s.round_seconds_ewma =
+      round_seconds_ewma_.load(std::memory_order_relaxed);
+  s.cumulative_regret = cumulative_regret_.load(std::memory_order_relaxed);
+  s.draining = stop_requested();
+  s.tasks = table_.counts();
+  return s;
+}
+
+}  // namespace mfcp::engine

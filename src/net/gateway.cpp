@@ -1,0 +1,340 @@
+#include "net/gateway.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+
+#include "net/json.hpp"
+#include "obs/sinks.hpp"
+
+namespace mfcp::net {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string lower(std::string_view v) {
+  std::string out(v);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::optional<sim::TaskFamily> parse_family(std::string_view v) {
+  const std::string s = lower(v);
+  if (s == "cnn") return sim::TaskFamily::kCnn;
+  if (s == "transformer") return sim::TaskFamily::kTransformer;
+  if (s == "rnn") return sim::TaskFamily::kRnn;
+  if (s == "mlp") return sim::TaskFamily::kMlp;
+  return std::nullopt;
+}
+
+std::optional<sim::DatasetKind> parse_dataset(std::string_view v) {
+  const std::string s = lower(v);
+  if (s == "cifar-10" || s == "cifar10") return sim::DatasetKind::kCifar10;
+  if (s == "imagenet") return sim::DatasetKind::kImageNet;
+  if (s == "europarl") return sim::DatasetKind::kEuroparl;
+  return std::nullopt;
+}
+
+/// Reads field `name` as an integer in [lo, hi] into `out`. Returns an
+/// error message, or empty on success / absence (absence keeps `out`).
+std::string read_int_field(const std::map<std::string, JsonValue>& fields,
+                           const std::string& name, int lo, int hi,
+                           int& out) {
+  const auto it = fields.find(name);
+  if (it == fields.end()) {
+    return {};
+  }
+  if (it->second.kind != JsonValue::Kind::kNumber) {
+    return name + " must be a number";
+  }
+  const double v = it->second.num;
+  if (v != std::floor(v) || v < lo || v > hi) {
+    return name + " must be an integer in [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+  }
+  out = static_cast<int>(v);
+  return {};
+}
+
+/// Route label for the request metrics: a small closed set so the metric
+/// family stays bounded no matter what paths clients probe.
+std::string_view route_label(const HttpRequest& request) {
+  if (request.path == "/submit") return "/submit";
+  if (request.path.rfind("/task/", 0) == 0) return "/task";
+  if (request.path == "/stats") return "/stats";
+  if (request.path == "/metrics") return "/metrics";
+  if (request.path == "/healthz") return "/healthz";
+  return "other";
+}
+
+std::optional<std::uint64_t> parse_task_id(std::string_view path) {
+  constexpr std::string_view kPrefix = "/task/";
+  if (path.size() <= kPrefix.size() || path.rfind(kPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  for (const char c : path.substr(kPrefix.size())) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+HttpResponse error_json(int status, std::string_view message) {
+  return json_response(
+      status, "{\"error\":" + json_quote(message) + "}\n");
+}
+
+HttpResponse handle_submit(const HttpRequest& request,
+                           engine::GatewayLink& link) {
+  SubmitParse parsed = parse_submit_body(request.body);
+  if (!parsed.ok) {
+    return error_json(400, parsed.error);
+  }
+  const engine::SubmitTicket ticket =
+      link.submit(parsed.task, parsed.deadline_hours);
+  if (!ticket.accepted) {
+    HttpResponse r = json_response(
+        429, "{\"accepted\":false,\"retry_after_seconds\":" +
+                 fmt_double(ticket.retry_after_seconds) +
+                 ",\"pressure\":" + fmt_u64(ticket.pressure) + "}\n");
+    r.headers.emplace_back(
+        "Retry-After",
+        std::to_string(static_cast<long>(
+            std::ceil(ticket.retry_after_seconds))));
+    return r;
+  }
+  return json_response(200, "{\"accepted\":true,\"id\":" +
+                                fmt_u64(ticket.id) + ",\"pressure\":" +
+                                fmt_u64(ticket.pressure) + "}\n");
+}
+
+HttpResponse handle_task(const HttpRequest& request,
+                         engine::GatewayLink& link) {
+  const std::optional<std::uint64_t> id = parse_task_id(request.path);
+  if (!id.has_value()) {
+    return error_json(400, "task id must be a decimal integer");
+  }
+  const std::optional<engine::TaskStatus> status = link.status(*id);
+  if (!status.has_value()) {
+    return error_json(404, "unknown task id");
+  }
+  return json_response(200, task_status_json(*status));
+}
+
+}  // namespace
+
+SubmitParse parse_submit_body(std::string_view body) {
+  SubmitParse out;
+  const auto fields = parse_json_object(body);
+  if (!fields.has_value()) {
+    out.error = "body must be a flat JSON object";
+    return out;
+  }
+  for (const auto& [key, value] : *fields) {
+    if (key != "family" && key != "dataset" && key != "depth" &&
+        key != "width" && key != "batch_size" &&
+        key != "dataset_fraction" && key != "deadline_hours") {
+      out.error = "unknown field: " + key;
+      return out;
+    }
+    (void)value;
+  }
+
+  const auto family_it = fields->find("family");
+  if (family_it == fields->end() ||
+      family_it->second.kind != JsonValue::Kind::kString) {
+    out.error = "family is required (cnn|transformer|rnn|mlp)";
+    return out;
+  }
+  const auto family = parse_family(family_it->second.str);
+  if (!family.has_value()) {
+    out.error = "unknown family: " + family_it->second.str;
+    return out;
+  }
+  out.task.family = *family;
+
+  if (const auto it = fields->find("dataset"); it != fields->end()) {
+    if (it->second.kind != JsonValue::Kind::kString) {
+      out.error = "dataset must be a string";
+      return out;
+    }
+    const auto dataset = parse_dataset(it->second.str);
+    if (!dataset.has_value()) {
+      out.error = "unknown dataset: " + it->second.str;
+      return out;
+    }
+    out.task.dataset = *dataset;
+  }
+
+  if (std::string err =
+          read_int_field(*fields, "depth", 1, 512, out.task.depth);
+      !err.empty()) {
+    out.error = std::move(err);
+    return out;
+  }
+  if (std::string err =
+          read_int_field(*fields, "width", 1, 65536, out.task.width);
+      !err.empty()) {
+    out.error = std::move(err);
+    return out;
+  }
+  if (std::string err = read_int_field(*fields, "batch_size", 1, 65536,
+                                       out.task.batch_size);
+      !err.empty()) {
+    out.error = std::move(err);
+    return out;
+  }
+  if (const auto it = fields->find("dataset_fraction");
+      it != fields->end()) {
+    if (it->second.kind != JsonValue::Kind::kNumber ||
+        !(it->second.num > 0.0) || it->second.num > 1.0) {
+      out.error = "dataset_fraction must be a number in (0, 1]";
+      return out;
+    }
+    out.task.dataset_fraction = it->second.num;
+  }
+  if (const auto it = fields->find("deadline_hours"); it != fields->end()) {
+    if (it->second.kind != JsonValue::Kind::kNumber ||
+        !(it->second.num > 0.0) || !std::isfinite(it->second.num)) {
+      out.error = "deadline_hours must be a positive number";
+      return out;
+    }
+    out.deadline_hours = it->second.num;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string task_status_json(const engine::TaskStatus& status) {
+  std::string out = "{\"id\":" + fmt_u64(status.id) + ",\"state\":" +
+                    json_quote(engine::to_string(status.state)) +
+                    ",\"submit_hours\":" + fmt_double(status.submit_hours);
+  const bool matched = status.state == engine::TaskState::kMatched ||
+                       status.state == engine::TaskState::kDispatched;
+  if (matched) {
+    out += ",\"cluster\":" +
+           fmt_u64(static_cast<std::uint64_t>(status.cluster)) +
+           ",\"cluster_name\":" + json_quote(status.cluster_name) +
+           ",\"predicted_hours\":" + fmt_double(status.predicted_hours) +
+           ",\"round\":" + fmt_u64(status.round);
+  }
+  if (status.state == engine::TaskState::kDispatched) {
+    out += ",\"realized_hours\":" + fmt_double(status.realized_hours);
+    out += ",\"succeeded\":";
+    out += status.succeeded ? "true" : "false";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string service_stats_json(const engine::ServiceStats& s) {
+  std::string out = "{";
+  out += "\"draining\":";
+  out += s.draining ? "true" : "false";
+  out += ",\"inbox_depth\":" + fmt_u64(s.inbox_depth);
+  out += ",\"queue_depth\":" + fmt_u64(s.queue_depth);
+  out += ",\"accepted_total\":" + fmt_u64(s.submitted);
+  out += ",\"rejected_busy_total\":" + fmt_u64(s.rejected_busy);
+  out += ",\"rounds\":" + fmt_u64(s.rounds);
+  out += ",\"round_tasks_matched\":" + fmt_u64(s.tasks_matched);
+  out += ",\"sim_time_hours\":" + fmt_double(s.sim_time_hours);
+  out += ",\"last_round_close_hours\":" +
+         fmt_double(s.last_round_close_hours);
+  out += ",\"round_seconds_ewma\":" + fmt_double(s.round_seconds_ewma);
+  out += ",\"cumulative_regret\":" + fmt_double(s.cumulative_regret);
+  out += ",\"tasks_submitted\":" + fmt_u64(s.tasks.submitted);
+  out += ",\"tasks_queued\":" + fmt_u64(s.tasks.queued);
+  out += ",\"tasks_matched\":" + fmt_u64(s.tasks.matched);
+  out += ",\"tasks_dispatched\":" + fmt_u64(s.tasks.dispatched);
+  out += ",\"tasks_expired\":" + fmt_u64(s.tasks.expired);
+  out += ",\"tasks_rejected\":" + fmt_u64(s.tasks.rejected);
+  out += "}\n";
+  return out;
+}
+
+HttpResponse route_gateway_request(const HttpRequest& request,
+                                   engine::GatewayLink& link,
+                                   obs::MetricsRegistry* registry) {
+  if (!request.valid) {
+    return text_response(400, "bad request\n");
+  }
+  if (request.path == "/submit") {
+    if (request.method != "POST") {
+      HttpResponse r = text_response(405, "method not allowed\n");
+      r.headers.emplace_back("Allow", "POST");
+      return r;
+    }
+    return handle_submit(request, link);
+  }
+  if (request.method != "GET") {
+    HttpResponse r = text_response(405, "method not allowed\n");
+    r.headers.emplace_back("Allow", "GET");
+    return r;
+  }
+  if (request.path.rfind("/task/", 0) == 0) {
+    return handle_task(request, link);
+  }
+  if (request.path == "/stats") {
+    return json_response(200, service_stats_json(link.stats()));
+  }
+  if (request.path == "/healthz") {
+    return text_response(200, "ok\n");
+  }
+  if (request.path == "/metrics") {
+    if (registry == nullptr) {
+      return text_response(404, "no metrics registry\n");
+    }
+    HttpResponse r = text_response(200, obs::to_prometheus(
+                                            registry->snapshot()));
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  }
+  return text_response(404, "not found\n");
+}
+
+PlatformGateway::PlatformGateway(engine::GatewayLink& link,
+                                 obs::MetricsRegistry* registry,
+                                 obs::TraceRing* trace, GatewayConfig config)
+    : link_(link), registry_(registry), trace_(trace) {
+  if (registry_ != nullptr) {
+    submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
+                                            obs::default_time_bounds());
+  }
+  server_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return handle(request); },
+      config.http);
+}
+
+HttpResponse PlatformGateway::handle(const HttpRequest& request) {
+  HttpResponse response;
+  const bool is_submit = request.valid && request.path == "/submit" &&
+                         request.method == "POST";
+  if (is_submit) {
+    obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
+    response = route_gateway_request(request, link_, registry_);
+  } else {
+    response = route_gateway_request(request, link_, registry_);
+  }
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("mfcp_gateway_requests_total{route=\"" +
+                  std::string(route_label(request)) + "\",status=\"" +
+                  std::to_string(response.status) + "\"}")
+        .add(1);
+  }
+  return response;
+}
+
+}  // namespace mfcp::net

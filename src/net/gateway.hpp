@@ -1,0 +1,107 @@
+// Platform gateway: the task-submission HTTP service in front of a
+// serving OnlineEngine.
+//
+//   POST /submit     {"family":"cnn","depth":8,...}
+//                    -> 200 {"accepted":true,"id":...}      admitted
+//                    -> 429 + Retry-After: <s>              backpressure
+//   GET  /task/<id>  -> 200 task lifecycle JSON (queued -> matched ->
+//                       dispatched, or expired/rejected), 404 unknown
+//   GET  /stats      -> 200 flat JSON: queue depth, round cadence,
+//                       cumulative regret, task-state counts
+//   GET  /metrics    -> 200 Prometheus exposition of the shared registry
+//   GET  /healthz    -> 200 "ok\n"
+//
+// The request -> response mapping is a pure function over the parsed
+// request (route_gateway_request), so every route is unit-testable
+// without a socket; PlatformGateway glues it onto the shared
+// net::HttpServer core and adds the request metrics
+// (mfcp_gateway_requests_total{route=,status=}, submit latency).
+//
+// Backpressure is decided by the engine-side GatewayLink, not here: the
+// gateway never buffers tasks itself, so a 200 means the task is in the
+// engine's hands and will terminate in exactly one of
+// matched/dispatched/expired/rejected — the conservation law the load
+// generator asserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/service.hpp"
+#include "net/http.hpp"
+#include "net/http_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/task.hpp"
+
+namespace mfcp::net {
+
+/// Result of parsing a POST /submit body. `deadline_hours` is 0 when the
+/// client did not set one (the link substitutes its default).
+struct SubmitParse {
+  bool ok = false;
+  std::string error;  // human-readable, echoed in the 400 body
+  sim::TaskDescriptor task;
+  double deadline_hours = 0.0;
+};
+
+/// Parses and validates a flat-JSON task submission. Accepted fields:
+/// family ("cnn"|"transformer"|"rnn"|"mlp", required), dataset
+/// ("cifar-10"|"imagenet"|"europarl"), depth, width, batch_size,
+/// dataset_fraction, deadline_hours. Unknown fields are rejected so
+/// client typos fail loudly instead of silently running defaults.
+[[nodiscard]] SubmitParse parse_submit_body(std::string_view body);
+
+/// Flat-JSON renderings (flat so the loadgen client can read them back
+/// with parse_json_object).
+[[nodiscard]] std::string task_status_json(const engine::TaskStatus& status);
+[[nodiscard]] std::string service_stats_json(const engine::ServiceStats& s);
+
+/// Maps one parsed request to its response — the socket-free core of the
+/// gateway. `registry` backs GET /metrics and may be null (404 then).
+[[nodiscard]] HttpResponse route_gateway_request(
+    const HttpRequest& request, engine::GatewayLink& link,
+    obs::MetricsRegistry* registry);
+
+struct GatewayConfig {
+  HttpServerConfig http;
+};
+
+/// The running service: an HttpServer whose handler routes into `link`
+/// and records per-route request metrics into `registry` (both borrowed;
+/// must outlive the gateway). `trace` optionally retains submit spans.
+class PlatformGateway {
+ public:
+  PlatformGateway(engine::GatewayLink& link, obs::MetricsRegistry* registry,
+                  obs::TraceRing* trace, GatewayConfig config = {});
+
+  PlatformGateway(const PlatformGateway&) = delete;
+  PlatformGateway& operator=(const PlatformGateway&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return server_->port();
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return server_->requests_served();
+  }
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return server_->connections_shed();
+  }
+
+  /// Graceful, idempotent shutdown of the HTTP front end (the engine
+  /// keeps serving whatever was already admitted).
+  void stop() { server_->stop(); }
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+
+  engine::GatewayLink& link_;
+  obs::MetricsRegistry* registry_;
+  obs::TraceRing* trace_;
+  obs::Histogram* submit_seconds_ = nullptr;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace mfcp::net

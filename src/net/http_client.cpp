@@ -1,0 +1,172 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "net/http.hpp"
+
+namespace mfcp::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClientResponse transport_error(std::string what) {
+  ClientResponse r;
+  r.error = std::move(what);
+  return r;
+}
+
+}  // namespace
+
+std::string_view ClientResponse::header(
+    std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) {
+      return value;
+    }
+  }
+  return {};
+}
+
+ClientResponse parse_response(std::string_view wire) {
+  ClientResponse r;
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return transport_error("no response head");
+  }
+  const std::string_view head = wire.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      head.substr(0, std::min(line_end, head.size()));
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos) {
+    return transport_error("malformed status line");
+  }
+  const std::string_view code = status_line.substr(sp + 1, 3);
+  int status = 0;
+  const auto [end, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status);
+  if (ec != std::errc{} || end != code.data() + code.size()) {
+    return transport_error("malformed status code");
+  }
+  r.status = status;
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    const std::string_view h = head.substr(
+        pos, next == std::string_view::npos ? head.size() - pos : next - pos);
+    pos = next == std::string_view::npos ? head.size() : next + 2;
+    const std::size_t colon = h.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    std::string key(h.substr(0, colon));
+    std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    std::string_view value = h.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    r.headers.emplace_back(std::move(key), std::string(value));
+  }
+  r.body = std::string(wire.substr(head_end + 4));
+  r.ok = true;
+  return r;
+}
+
+ClientResponse http_call(const std::string& host, std::uint16_t port,
+                         const std::string& method, const std::string& path,
+                         const std::string& body, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return transport_error(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return transport_error("bad host address");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return transport_error(std::string("connect: ") + std::strerror(err));
+  }
+
+  std::string request = method;
+  request += ' ';
+  request += path;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host;
+  request += "\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: application/json\r\nContent-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      const int err = errno;
+      ::close(fd);
+      return transport_error(std::string("send: ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string wire;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      return transport_error(std::string("recv: ") + std::strerror(err));
+    }
+    if (n == 0) {
+      break;  // server closed after the full response
+    }
+    wire.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return parse_response(wire);
+}
+
+}  // namespace mfcp::net

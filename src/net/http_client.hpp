@@ -1,0 +1,39 @@
+// Minimal blocking HTTP/1.1 client for the load generator and the live-
+// socket tests: one request per connection (the server answers with
+// Connection: close), plain POSIX sockets, no dependencies beyond
+// net/http.hpp for response parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mfcp::net {
+
+struct ClientResponse {
+  bool ok = false;        // transport-level success (response received)
+  std::string error;      // transport failure description when !ok
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-cased
+  std::string body;
+
+  /// First header value with the given (case-insensitive) name, or empty.
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+};
+
+/// Parses a full HTTP/1.1 response (status line + headers + body) as read
+/// off the wire. Socket-free, unit-testable.
+[[nodiscard]] ClientResponse parse_response(std::string_view wire);
+
+/// Connects to host:port, sends one request, reads to EOF, parses.
+/// `timeout_ms` bounds connect and receive.
+[[nodiscard]] ClientResponse http_call(const std::string& host,
+                                       std::uint16_t port,
+                                       const std::string& method,
+                                       const std::string& path,
+                                       const std::string& body = {},
+                                       int timeout_ms = 5000);
+
+}  // namespace mfcp::net

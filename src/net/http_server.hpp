@@ -1,0 +1,113 @@
+// Multi-threaded HTTP/1.1 server core on plain POSIX sockets.
+//
+// Factored out of obs/http_exporter (PR 3) and promoted into the shared
+// ingress path for the platform gateway:
+//
+//   accept thread ──> bounded accepted-connection queue ──> worker pool
+//
+// The accept loop only accepts and enqueues; a small worker pool reads
+// each request (head + Content-Length body), parses it with the socket-
+// free functions in net/http.hpp, invokes the caller's handler, and
+// writes the serialized response. When the accepted-connection queue is
+// full the server sheds load at the door: the connection is answered
+// with an immediate 503 and closed, rather than queueing unboundedly —
+// the same explicit-backpressure philosophy as the engine's admission
+// queue (a counter tracks every shed connection).
+//
+// Graceful shutdown: stop() closes the listener, lets the workers finish
+// every connection already accepted (nothing in flight is dropped), then
+// joins all threads. Handler exceptions become 500 responses, never
+// worker-thread deaths.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace mfcp::net {
+
+struct HttpServerConfig {
+  /// Loopback by default: these servers expose process introspection and
+  /// a demo ingress, not an authenticated public endpoint.
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read the result via port().
+  std::uint16_t port = 0;
+  /// Kernel listen(2) backlog.
+  int listen_backlog = 64;
+  /// Worker threads serving accepted connections.
+  std::size_t worker_threads = 4;
+  /// Accepted connections waiting for a worker beyond which the server
+  /// sheds load with an immediate 503.
+  std::size_t max_queued_connections = 128;
+  /// Receive timeout per connection, so one stalled client costs at most
+  /// one worker for this long.
+  int receive_timeout_ms = 2000;
+  /// Requests whose head + body exceed this are answered 413.
+  std::size_t max_request_bytes = 1 << 20;
+};
+
+class HttpServer {
+ public:
+  /// Maps one parsed request to a response. Runs on a worker thread; must
+  /// be thread-safe. Invalid (unparseable) requests are answered 400
+  /// before the handler is consulted.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds, listens, and starts the accept + worker threads. Throws
+  /// ContractError when the socket cannot be created or bound.
+  explicit HttpServer(Handler handler, HttpServerConfig config = {});
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Stops and joins every thread (see stop()).
+  ~HttpServer();
+
+  /// The actually bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered so far, any status (503 sheds included).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections shed with a 503 because the accepted queue was full.
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful, idempotent shutdown (also run by the destructor): closes
+  /// the listener, drains already-accepted connections, joins threads.
+  void stop();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  HttpServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<int> accepted_;
+  bool accept_done_ = false;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mfcp::net

@@ -1,0 +1,248 @@
+#include "net/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfcp::net {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+  void skip_ws() noexcept {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) {
+      ++pos;
+    }
+  }
+  bool consume(char c) noexcept {
+    if (done() || peek() != c) {
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool consume_literal(std::string_view lit) noexcept {
+    if (text.substr(pos, lit.size()) != lit) {
+      return false;
+    }
+    pos += lit.size();
+    return true;
+  }
+};
+
+/// Appends one Unicode code point as UTF-8.
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.consume('"')) {
+    return false;
+  }
+  out.clear();
+  while (!c.done()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') {
+      return true;
+    }
+    if (ch != '\\') {
+      out.push_back(ch);
+      continue;
+    }
+    if (c.done()) {
+      return false;
+    }
+    const char esc = c.text[c.pos++];
+    switch (esc) {
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case '/':
+        out.push_back('/');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'u': {
+        if (c.pos + 4 > c.text.size()) {
+          return false;
+        }
+        unsigned cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = c.text[c.pos++];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') {
+            cp |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            cp |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            cp |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c, double& out) {
+  const char* start = c.text.data() + c.pos;
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  if (end == start) {
+    return false;
+  }
+  c.pos += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> parse_json_object(
+    std::string_view text) {
+  Cursor c{text};
+  c.skip_ws();
+  if (!c.consume('{')) {
+    return std::nullopt;
+  }
+  std::map<std::string, JsonValue> out;
+  c.skip_ws();
+  if (c.consume('}')) {
+    c.skip_ws();
+    return c.done() ? std::make_optional(std::move(out)) : std::nullopt;
+  }
+  for (;;) {
+    c.skip_ws();
+    std::string key;
+    if (!parse_string(c, key)) {
+      return std::nullopt;
+    }
+    c.skip_ws();
+    if (!c.consume(':')) {
+      return std::nullopt;
+    }
+    c.skip_ws();
+    JsonValue value;
+    if (c.done()) {
+      return std::nullopt;
+    }
+    const char first = c.peek();
+    if (first == '"') {
+      value.kind = JsonValue::Kind::kString;
+      if (!parse_string(c, value.str)) {
+        return std::nullopt;
+      }
+    } else if (first == 't') {
+      if (!c.consume_literal("true")) {
+        return std::nullopt;
+      }
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+    } else if (first == 'f') {
+      if (!c.consume_literal("false")) {
+        return std::nullopt;
+      }
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+    } else if (first == 'n') {
+      if (!c.consume_literal("null")) {
+        return std::nullopt;
+      }
+      value.kind = JsonValue::Kind::kNull;
+    } else if (first == '{' || first == '[') {
+      return std::nullopt;  // flat objects only, by design
+    } else {
+      value.kind = JsonValue::Kind::kNumber;
+      if (!parse_number(c, value.num)) {
+        return std::nullopt;
+      }
+    }
+    if (!out.emplace(std::move(key), std::move(value)).second) {
+      return std::nullopt;  // duplicate key
+    }
+    c.skip_ws();
+    if (c.consume(',')) {
+      continue;
+    }
+    if (c.consume('}')) {
+      break;
+    }
+    return std::nullopt;
+  }
+  c.skip_ws();
+  if (!c.done()) {
+    return std::nullopt;  // trailing garbage
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view v) {
+  std::string out = "\"";
+  for (const char ch : v) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace mfcp::net

@@ -1,0 +1,35 @@
+// Minimal flat-JSON object parsing for the gateway's request bodies.
+//
+// The platform's own JSON output goes through obs::JsonlWriter; this is
+// the read side, scoped to exactly what the gateway accepts: one object
+// of scalar fields ({"family":"cnn","depth":8,...}). Nested containers
+// are rejected — a task descriptor has no reason to carry them, and the
+// restriction keeps the parser small enough to audit. Strings support
+// the standard escapes (\" \\ \/ \b \f \n \r \t and \uXXXX for the
+// Basic Multilingual Plane).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mfcp::net {
+
+struct JsonValue {
+  enum class Kind : int { kString = 0, kNumber = 1, kBool = 2, kNull = 3 };
+  Kind kind = Kind::kNull;
+  std::string str;     // valid for kString
+  double num = 0.0;    // valid for kNumber
+  bool boolean = false;  // valid for kBool
+};
+
+/// Parses a flat JSON object into field -> value. nullopt on malformed
+/// input, trailing garbage, duplicate keys, or nested arrays/objects.
+[[nodiscard]] std::optional<std::map<std::string, JsonValue>>
+parse_json_object(std::string_view text);
+
+/// Escapes `v` for embedding in a JSON string literal (quotes included).
+[[nodiscard]] std::string json_quote(std::string_view v);
+
+}  // namespace mfcp::net

@@ -1,73 +1,44 @@
 #include "obs/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
+#include "net/http.hpp"
 #include "obs/sinks.hpp"
-#include "support/check.hpp"
-#include "support/log.hpp"
 
 namespace mfcp::obs {
 
 namespace {
 
-std::string status_line(int code) {
-  switch (code) {
-    case 200:
-      return "HTTP/1.1 200 OK\r\n";
-    case 404:
-      return "HTTP/1.1 404 Not Found\r\n";
-    case 405:
-      return "HTTP/1.1 405 Method Not Allowed\r\n";
-    default:
-      return "HTTP/1.1 500 Internal Server Error\r\n";
+/// The exporter's whole route table, socket-free. Shared by the live
+/// server handler and the static respond() below.
+net::HttpResponse route(const std::string& method, const std::string& path,
+                        const HttpExporter::SnapshotFn& snapshot) {
+  if (method != "GET") {
+    net::HttpResponse r = net::text_response(405, "method not allowed\n");
+    r.headers.emplace_back("Allow", "GET");
+    return r;
   }
-}
-
-std::string make_response(int code, std::string_view content_type,
-                          std::string_view body,
-                          std::string_view extra_header = {}) {
-  std::string out = status_line(code);
-  out += "Content-Type: ";
-  out += content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(body.size());
-  out += "\r\nConnection: close\r\n";
-  out += extra_header;
-  out += "\r\n";
-  out += body;
-  return out;
+  if (path == "/metrics") {
+    net::HttpResponse r = net::text_response(
+        200, to_prometheus(snapshot ? snapshot() : RegistrySnapshot{}));
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  }
+  if (path == "/healthz") {
+    return net::text_response(200, "ok\n");
+  }
+  return net::text_response(404, "not found\n");
 }
 
 }  // namespace
 
-HttpExporter::Request HttpExporter::parse_request_line(std::string_view line) {
-  // Trim the trailing CR of a CRLF-terminated request line.
-  if (!line.empty() && line.back() == '\r') {
-    line.remove_suffix(1);
-  }
+HttpExporter::Request HttpExporter::parse_request_line(
+    std::string_view line) {
+  const net::HttpRequest parsed = net::parse_request_head(line);
   Request req;
-  const auto first = line.find(' ');
-  if (first == std::string_view::npos || first == 0) {
+  if (!parsed.valid) {
     return req;
   }
-  const auto second = line.find(' ', first + 1);
-  if (second == std::string_view::npos || second == first + 1) {
-    return req;
-  }
-  // Anything after the second space must be a nonempty HTTP version; more
-  // spaces mean a malformed line.
-  const std::string_view version = line.substr(second + 1);
-  if (version.empty() || version.find(' ') != std::string_view::npos) {
-    return req;
-  }
-  req.method = std::string(line.substr(0, first));
-  req.path = std::string(line.substr(first + 1, second - first - 1));
+  req.method = parsed.method;
+  req.path = parsed.path;
   req.valid = true;
   return req;
 }
@@ -75,123 +46,29 @@ HttpExporter::Request HttpExporter::parse_request_line(std::string_view line) {
 std::string HttpExporter::respond(const Request& request,
                                   const SnapshotFn& snapshot) {
   if (!request.valid) {
-    return make_response(404, "text/plain; charset=utf-8", "bad request\n");
+    // Pre-rebase behavior, kept: a line that does not parse is a 404.
+    return net::serialize_response(
+        net::text_response(404, "bad request\n"));
   }
-  if (request.method != "GET") {
-    return make_response(405, "text/plain; charset=utf-8",
-                         "method not allowed\n", "Allow: GET\r\n");
-  }
-  if (request.path == "/metrics") {
-    return make_response(
-        200, "text/plain; version=0.0.4; charset=utf-8",
-        to_prometheus(snapshot ? snapshot() : RegistrySnapshot{}));
-  }
-  if (request.path == "/healthz") {
-    return make_response(200, "text/plain; charset=utf-8", "ok\n");
-  }
-  return make_response(404, "text/plain; charset=utf-8", "not found\n");
+  return net::serialize_response(
+      route(request.method, request.path, snapshot));
 }
 
 HttpExporter::HttpExporter(SnapshotFn snapshot, HttpExporterConfig config)
-    : snapshot_(std::move(snapshot)), config_(std::move(config)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  MFCP_CHECK(listen_fd_ >= 0, "http exporter: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  MFCP_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
-                         &addr.sin_addr) == 1,
-             "http exporter: bad bind address");
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, config_.listen_backlog) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    MFCP_CHECK(false, std::string("http exporter: bind/listen failed: ") +
-                          std::strerror(err));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
-  thread_ = std::thread([this] { serve(); });
+    : snapshot_(std::move(snapshot)) {
+  net::HttpServerConfig server_config;
+  server_config.bind_address = std::move(config.bind_address);
+  server_config.port = config.port;
+  server_config.listen_backlog = config.listen_backlog;
+  server_config.receive_timeout_ms = config.receive_timeout_ms;
+  server_config.worker_threads = config.worker_threads;
+  server_ = std::make_unique<net::HttpServer>(
+      [this](const net::HttpRequest& request) {
+        return route(request.method, request.path, snapshot_);
+      },
+      server_config);
 }
 
 HttpExporter::~HttpExporter() { stop(); }
-
-void HttpExporter::stop() {
-  if (stopping_.exchange(true)) {
-    if (thread_.joinable()) {
-      thread_.join();
-    }
-    return;
-  }
-  if (listen_fd_ >= 0) {
-    // Unblocks the accept loop (Linux: pending accept returns EINVAL).
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void HttpExporter::serve() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) {
-        return;
-      }
-      if (errno == EINTR) {
-        continue;
-      }
-      MFCP_LOG(kWarn) << "http exporter: accept failed: "
-                      << std::strerror(errno);
-      return;
-    }
-    timeval timeout{};
-    timeout.tv_sec = config_.receive_timeout_ms / 1000;
-    timeout.tv_usec = (config_.receive_timeout_ms % 1000) * 1000;
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-
-    // Read until the end of the request head (or a modest cap — the
-    // request line is all we route on).
-    std::string head;
-    char buf[1024];
-    while (head.find("\r\n\r\n") == std::string::npos &&
-           head.size() < 8192) {
-      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-      if (n <= 0) {
-        break;
-      }
-      head.append(buf, static_cast<std::size_t>(n));
-    }
-    const auto line_end = head.find('\n');
-    const Request req = parse_request_line(
-        line_end == std::string::npos ? std::string_view(head)
-                                      : std::string_view(head).substr(
-                                            0, line_end));
-    const std::string response = respond(req, snapshot_);
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n = ::send(client, response.data() + sent,
-                               response.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        break;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    ::close(client);
-    requests_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
 
 }  // namespace mfcp::obs

@@ -1,5 +1,5 @@
-// Minimal live-metrics HTTP endpoint: a blocking accept loop on one
-// background thread, plain POSIX sockets, no dependencies.
+// Live-metrics HTTP endpoint, rebased on the shared net::HttpServer core
+// (PR 4) — the exporter is now a thin route table:
 //
 //   GET /metrics  -> 200, Prometheus text exposition of a fresh snapshot
 //   GET /healthz  -> 200, "ok\n"
@@ -8,21 +8,22 @@
 // The exporter pulls: each scrape invokes the caller-supplied snapshot
 // function, so the running engine never blocks on the exporter — scrapes
 // pay the snapshot cost (summing sharded atomics), the instrumented hot
-// path pays nothing. One connection is served at a time (scrapes are rare
-// and responses small; a second scraper queues in the listen backlog),
-// and a receive timeout keeps a stalled client from wedging the loop.
+// path pays nothing. Accepting, backlog bounding, timeouts, and graceful
+// shutdown all live in net::HttpServer now; this class only decides what
+// a scrape returns.
 //
-// Request parsing and response assembly are static pure functions so the
-// protocol surface is unit-testable without sockets.
+// The static parse_request_line/respond pair remains the socket-free,
+// unit-testable protocol surface (delegating to net/http.hpp), with the
+// exact response bytes the pre-rebase exporter produced.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 
+#include "net/http_server.hpp"
 #include "obs/metrics.hpp"
 
 namespace mfcp::obs {
@@ -34,37 +35,42 @@ struct HttpExporterConfig {
   /// 0 asks the kernel for an ephemeral port; read the result via port().
   std::uint16_t port = 0;
   int listen_backlog = 16;
-  /// Receive timeout per connection, guarding the single-threaded loop
-  /// against stalled clients.
+  /// Receive timeout per connection, guarding a worker against stalled
+  /// clients.
   int receive_timeout_ms = 2000;
+  /// Scrapes are rare and cheap; two workers cover an overlapping scrape
+  /// without reserving more threads.
+  std::size_t worker_threads = 2;
 };
 
 class HttpExporter {
  public:
-  /// Produces the snapshot a scrape renders. Called on the exporter
-  /// thread once per /metrics request.
+  /// Produces the snapshot a scrape renders. Called on a server worker
+  /// thread once per /metrics request; must be thread-safe.
   using SnapshotFn = std::function<RegistrySnapshot()>;
 
-  /// Binds, listens, and starts the accept thread. Throws ContractError
+  /// Binds, listens, and starts the server threads. Throws ContractError
   /// when the socket cannot be created or bound.
   explicit HttpExporter(SnapshotFn snapshot, HttpExporterConfig config = {});
 
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
 
-  /// Stops and joins the accept thread.
+  /// Stops and joins the server threads.
   ~HttpExporter();
 
   /// The actually bound port (resolves port 0 requests).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return server_->port();
+  }
 
   /// Requests answered so far (any status).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
-    return requests_.load(std::memory_order_relaxed);
+    return server_->requests_served();
   }
 
   /// Idempotent early shutdown (also run by the destructor).
-  void stop();
+  void stop() { server_->stop(); }
 
   /// First line of an HTTP request, split. `valid` is false when the line
   /// is not "METHOD SP PATH SP VERSION".
@@ -81,15 +87,8 @@ class HttpExporter {
                              const SnapshotFn& snapshot);
 
  private:
-  void serve();
-
   SnapshotFn snapshot_;
-  HttpExporterConfig config_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_{0};
-  std::thread thread_;
+  std::unique_ptr<net::HttpServer> server_;
 };
 
 }  // namespace mfcp::obs

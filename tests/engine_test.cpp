@@ -195,6 +195,65 @@ TEST(Replay, RingOverwritesOldestBeyondCapacity) {
             3u);
 }
 
+TEST(Replay, SequenceNumbersSurviveRingWrap) {
+  ReplayBuffer buf(3);
+  for (std::size_t k = 0; k < 5; ++k) {
+    Experience e;
+    e.observed_time = static_cast<double>(k);
+    buf.add(std::move(e));
+  }
+  // Slots hold insertions 3, 4, 2 (the ring reordered them); the sequence
+  // numbers still identify each experience's true age.
+  EXPECT_EQ(buf.latest_sequence(), 4u);
+  for (std::size_t k = 0; k < buf.size(); ++k) {
+    EXPECT_EQ(static_cast<double>(buf.sequence(k)), buf.at(k).observed_time);
+  }
+}
+
+TEST(Replay, RecencyWeightsHalveEveryHalfLife) {
+  ReplayBuffer buf(8);
+  for (std::size_t k = 0; k < 5; ++k) {
+    buf.add(Experience{});
+  }
+  const std::vector<std::size_t> idx = {4, 2, 0};  // ages 0, 2, 4
+  const std::vector<double> w = recency_weights(buf, idx, 2.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);   // age == half_life
+  EXPECT_DOUBLE_EQ(w[2], 0.25);  // two half-lives
+  // half_life <= 0 means uniform: all ones, no bias.
+  const std::vector<double> uniform = recency_weights(buf, idx, 0.0);
+  EXPECT_EQ(uniform, std::vector<double>(3, 1.0));
+}
+
+TEST(Trainer, RecencyWeightedRetrainStillLearns) {
+  // Two trainers over identical replay contents: half_life > 0 must not
+  // break the burst (weights shift the sampling, training still happens),
+  // and half_life == 0 must remain the default config value.
+  OnlineTrainerConfig cfg;
+  EXPECT_EQ(cfg.replay_recency_half_life, 0.0);
+  cfg.retrain_epochs = 4;
+  cfg.batch_size = 8;
+  cfg.min_cluster_samples = 4;
+  cfg.replay_recency_half_life = 16.0;
+  OnlineTrainer trainer(cfg);
+  Rng feature_rng(31);
+  for (std::size_t k = 0; k < 32; ++k) {
+    Experience e;
+    e.features = {feature_rng.uniform(), feature_rng.uniform()};
+    e.cluster = k % 2;
+    e.observed_time = 1.0 + 0.1 * static_cast<double>(k % 5);
+    trainer.record(std::move(e));
+  }
+  core::PredictorConfig pcfg;
+  pcfg.feature_dim = 2;
+  pcfg.hidden = {4};
+  Rng init(7);
+  core::PlatformPredictor predictor(2, pcfg, init);
+  trainer.retrain(predictor);
+  EXPECT_EQ(trainer.retrain_count(), 1u);
+}
+
 TEST(Drift, LogRatioErrorIsSymmetricAndBounded) {
   // Perfect prediction: zero error.
   EXPECT_DOUBLE_EQ(drift_error(2.0, 2.0), 0.0);

@@ -1,0 +1,539 @@
+// Tests for the shared HTTP core and the platform gateway: socket-free
+// protocol parsing and routing, the flat-JSON reader, live multi-threaded
+// server behavior, backpressure (429 + Retry-After), and an end-to-end
+// gateway-over-serving-engine loop asserting task conservation and
+// forward-only status transitions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "net/gateway.hpp"
+#include "net/http.hpp"
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+#include "net/json.hpp"
+
+namespace mfcp::net {
+namespace {
+
+// ------------------------------------------------------------ protocol --
+
+TEST(HttpParse, ParsesRequestLineAndHeaders) {
+  const HttpRequest r = parse_request_head(
+      "POST /submit HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 12\r\n"
+      "\r\n");
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.path, "/submit");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  // Names are case-insensitive; values keep their case.
+  EXPECT_EQ(r.header("content-type"), "application/json");
+  EXPECT_EQ(r.header("CONTENT-LENGTH"), "12");
+  ASSERT_TRUE(r.content_length().has_value());
+  EXPECT_EQ(*r.content_length(), 12u);
+  EXPECT_EQ(r.header("x-missing"), "");
+}
+
+TEST(HttpParse, RejectsMalformedHeads) {
+  EXPECT_FALSE(parse_request_head("").valid);
+  EXPECT_FALSE(parse_request_head("GET\r\n").valid);
+  EXPECT_FALSE(parse_request_head("GET /x\r\n").valid);  // no version
+  EXPECT_FALSE(parse_request_head("GET  /x HTTP/1.1\r\n").valid);
+  EXPECT_FALSE(
+      parse_request_head("GET /x HTTP/1.1 extra\r\n").valid);
+  EXPECT_FALSE(parse_request_head("GET /x HTTP/1.1\r\n"
+                                  "not a header line\r\n"
+                                  "\r\n")
+                   .valid);
+}
+
+TEST(HttpParse, ContentLengthRejectsNonNumeric) {
+  const HttpRequest r = parse_request_head(
+      "GET / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n");
+  ASSERT_TRUE(r.valid);
+  EXPECT_FALSE(r.content_length().has_value());
+}
+
+TEST(HttpParse, SerializeResponseCarriesHeadersAndLength) {
+  HttpResponse resp = json_response(429, "{\"accepted\":false}");
+  resp.headers.emplace_back("Retry-After", "3");
+  const std::string wire = serialize_response(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 18\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 3\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"accepted\":false}"), std::string::npos);
+}
+
+TEST(HttpParse, ClientParsesResponseWire) {
+  const ClientResponse r = parse_response(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/plain\r\n"
+      "Content-Length: 3\r\n"
+      "\r\n"
+      "ok\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+  EXPECT_EQ(r.header("content-type"), "text/plain");
+}
+
+// ---------------------------------------------------------------- json --
+
+TEST(Json, ParsesFlatScalars) {
+  const auto obj = parse_json_object(
+      "{\"s\":\"a\\n\\u0041\",\"n\":-2.5e1,\"t\":true,\"f\":false,"
+      "\"z\":null}");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("s").str, "a\nA");
+  EXPECT_EQ(obj->at("n").num, -25.0);
+  EXPECT_TRUE(obj->at("t").boolean);
+  EXPECT_FALSE(obj->at("f").boolean);
+  EXPECT_EQ(obj->at("z").kind, JsonValue::Kind::kNull);
+}
+
+TEST(Json, RejectsNestingDuplicatesAndGarbage) {
+  EXPECT_FALSE(parse_json_object("").has_value());
+  EXPECT_FALSE(parse_json_object("[1,2]").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":{\"b\":1}}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":[1]}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":1,\"a\":2}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":}").has_value());
+}
+
+TEST(Json, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+// --------------------------------------------------------- submit body --
+
+TEST(SubmitBody, ParsesFullDescriptor) {
+  const SubmitParse p = parse_submit_body(
+      "{\"family\":\"transformer\",\"dataset\":\"europarl\",\"depth\":12,"
+      "\"width\":256,\"batch_size\":32,\"dataset_fraction\":0.5,"
+      "\"deadline_hours\":4.0}");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.task.family, sim::TaskFamily::kTransformer);
+  EXPECT_EQ(p.task.dataset, sim::DatasetKind::kEuroparl);
+  EXPECT_EQ(p.task.depth, 12);
+  EXPECT_EQ(p.task.width, 256);
+  EXPECT_EQ(p.task.batch_size, 32);
+  EXPECT_EQ(p.task.dataset_fraction, 0.5);
+  EXPECT_EQ(p.deadline_hours, 4.0);
+}
+
+TEST(SubmitBody, DefaultsApplyWhenFieldsOmitted) {
+  const SubmitParse p = parse_submit_body("{\"family\":\"CNN\"}");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.task.family, sim::TaskFamily::kCnn);
+  const sim::TaskDescriptor defaults;
+  EXPECT_EQ(p.task.depth, defaults.depth);
+  EXPECT_EQ(p.task.width, defaults.width);
+  EXPECT_EQ(p.deadline_hours, 0.0);  // "use the link's default"
+}
+
+TEST(SubmitBody, RejectsBadInput) {
+  EXPECT_FALSE(parse_submit_body("not json").ok);
+  EXPECT_FALSE(parse_submit_body("{}").ok);  // family required
+  EXPECT_FALSE(parse_submit_body("{\"family\":\"gpu\"}").ok);
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"depht\":3}").ok);  // typo
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"depth\":2.5}").ok);
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"dataset_fraction\":0}").ok);
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"deadline_hours\":-1}").ok);
+}
+
+// ------------------------------------------------- socket-free routing --
+
+HttpRequest make_request(const std::string& method, const std::string& path,
+                         std::string body = {}) {
+  HttpRequest r;
+  r.method = method;
+  r.path = path;
+  r.version = "HTTP/1.1";
+  r.body = std::move(body);
+  r.valid = true;
+  return r;
+}
+
+std::uint64_t body_u64(const std::string& body, const std::string& key) {
+  const auto obj = parse_json_object(body);
+  EXPECT_TRUE(obj.has_value()) << body;
+  if (!obj.has_value()) {
+    return 0;
+  }
+  const auto it = obj->find(key);
+  EXPECT_TRUE(it != obj->end()) << key << " missing in " << body;
+  return it == obj->end() ? 0
+                          : static_cast<std::uint64_t>(it->second.num);
+}
+
+std::string body_str(const std::string& body, const std::string& key) {
+  const auto obj = parse_json_object(body);
+  if (!obj.has_value()) {
+    return {};
+  }
+  const auto it = obj->find(key);
+  return it == obj->end() ? std::string{} : it->second.str;
+}
+
+TEST(GatewayRoute, SubmitAcceptThenStatusAndStats) {
+  engine::GatewayLink link;
+  const HttpResponse submit = route_gateway_request(
+      make_request("POST", "/submit", "{\"family\":\"cnn\"}"), link,
+      nullptr);
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  const std::uint64_t id = body_u64(submit.body, "id");
+  EXPECT_GE(id, engine::kExternalIdBase);
+
+  const HttpResponse status = route_gateway_request(
+      make_request("GET", "/task/" + std::to_string(id)), link, nullptr);
+  ASSERT_EQ(status.status, 200);
+  EXPECT_EQ(body_u64(status.body, "id"), id);
+  EXPECT_EQ(body_str(status.body, "state"), "queued");
+
+  const HttpResponse stats =
+      route_gateway_request(make_request("GET", "/stats"), link, nullptr);
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_EQ(body_u64(stats.body, "tasks_submitted"), 1u);
+  EXPECT_EQ(body_u64(stats.body, "tasks_queued"), 1u);
+  EXPECT_EQ(body_u64(stats.body, "inbox_depth"), 1u);
+}
+
+TEST(GatewayRoute, ValidationAndMethodErrors) {
+  engine::GatewayLink link;
+  EXPECT_EQ(route_gateway_request(
+                make_request("POST", "/submit", "not json"), link, nullptr)
+                .status,
+            400);
+  const HttpResponse wrong_method = route_gateway_request(
+      make_request("GET", "/submit"), link, nullptr);
+  EXPECT_EQ(wrong_method.status, 405);
+  ASSERT_EQ(wrong_method.headers.size(), 1u);
+  EXPECT_EQ(wrong_method.headers[0].first, "Allow");
+  EXPECT_EQ(wrong_method.headers[0].second, "POST");
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/task/abc"), link,
+                                  nullptr)
+                .status,
+            400);
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/task/42"), link,
+                                  nullptr)
+                .status,
+            404);
+  EXPECT_EQ(
+      route_gateway_request(make_request("GET", "/nope"), link, nullptr)
+          .status,
+      404);
+  HttpRequest invalid;  // valid = false
+  EXPECT_EQ(route_gateway_request(invalid, link, nullptr).status, 400);
+}
+
+TEST(GatewayRoute, BackpressureIs429WithDeterministicRetryAfter) {
+  engine::GatewayLinkConfig cfg;
+  cfg.high_water = 2;
+  engine::GatewayLink link(cfg);
+  // A known drain rate makes the advised backoff exactly predictable:
+  // 1 task over the high-water mark, 4 tasks per round, 2 s per round.
+  link.configure_drain(/*round_batch=*/4, /*expected_round_seconds=*/2.0);
+
+  const std::string body = "{\"family\":\"mlp\"}";
+  EXPECT_EQ(route_gateway_request(make_request("POST", "/submit", body),
+                                  link, nullptr)
+                .status,
+            200);
+  EXPECT_EQ(route_gateway_request(make_request("POST", "/submit", body),
+                                  link, nullptr)
+                .status,
+            200);
+  const HttpResponse rejected = route_gateway_request(
+      make_request("POST", "/submit", body), link, nullptr);
+  ASSERT_EQ(rejected.status, 429);
+  ASSERT_EQ(rejected.headers.size(), 1u);
+  EXPECT_EQ(rejected.headers[0].first, "Retry-After");
+  EXPECT_EQ(rejected.headers[0].second, "2");  // ceil(1/4 rounds) * 2 s
+
+  const engine::ServiceStats stats = link.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected_busy, 1u);
+}
+
+TEST(GatewayRoute, DrainingLinkRejectsNewWork) {
+  engine::GatewayLink link;
+  link.request_stop();
+  const HttpResponse r = route_gateway_request(
+      make_request("POST", "/submit", "{\"family\":\"rnn\"}"), link,
+      nullptr);
+  EXPECT_EQ(r.status, 429);
+  EXPECT_TRUE(link.stats().draining);
+}
+
+TEST(GatewayRoute, MetricsAndHealthRideTheSameRouter) {
+  engine::GatewayLink link;
+  obs::MetricsRegistry registry;
+  registry.counter("mfcp_example_total").add(3);
+  const HttpResponse metrics = route_gateway_request(
+      make_request("GET", "/metrics"), link, &registry);
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("mfcp_example_total 3"), std::string::npos);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_EQ(
+      route_gateway_request(make_request("GET", "/healthz"), link, nullptr)
+          .body,
+      "ok\n");
+  // No registry -> /metrics is absent, not empty.
+  EXPECT_EQ(
+      route_gateway_request(make_request("GET", "/metrics"), link, nullptr)
+          .status,
+      404);
+}
+
+// ------------------------------------------------------- live sockets --
+
+TEST(HttpServerLive, ServesConcurrentClients) {
+  std::atomic<int> handled{0};
+  HttpServerConfig cfg;
+  cfg.worker_threads = 4;
+  HttpServer server(
+      [&handled](const HttpRequest& r) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+        return text_response(200, r.method + " " + r.path + " " + r.body);
+      },
+      cfg);
+  ASSERT_GT(server.port(), 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        const std::string body = "b" + std::to_string(t * 1000 + k);
+        const ClientResponse r = http_call(
+            "127.0.0.1", server.port(), "POST", "/echo", body);
+        if (r.ok && r.status == 200 &&
+            r.body == "POST /echo " + body) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kPerThread);
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(
+                                          kThreads * kPerThread));
+}
+
+TEST(HttpServerLive, MalformedRequestLineGets400BeforeHandler) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest&) {
+    handled.fetch_add(1);
+    return text_response(200, "ok");
+  });
+  // Three spaces in the request line -> unparseable -> server-side 400.
+  const ClientResponse r =
+      http_call("127.0.0.1", server.port(), "BAD METHOD", "/x");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(handled.load(), 0);
+}
+
+TEST(HttpServerLive, HandlerExceptionBecomes500) {
+  HttpServer server([](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  const ClientResponse r =
+      http_call("127.0.0.1", server.port(), "GET", "/");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 500);
+}
+
+TEST(HttpServerLive, GracefulShutdownStopsAccepting) {
+  HttpServer server(
+      [](const HttpRequest&) { return text_response(200, "ok"); });
+  const std::uint16_t port = server.port();
+  ASSERT_TRUE(http_call("127.0.0.1", port, "GET", "/").ok);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(http_call("127.0.0.1", port, "GET", "/", {}, 500).ok);
+}
+
+TEST(GatewayLive, BackpressureOverTheWire) {
+  // No engine draining the link: the second submission already sits at
+  // the high-water mark, so the third gets a live 429 + Retry-After.
+  engine::GatewayLinkConfig link_cfg;
+  link_cfg.high_water = 1;
+  engine::GatewayLink link(link_cfg);
+  PlatformGateway gateway(link, nullptr, nullptr);
+
+  const std::string body = "{\"family\":\"cnn\"}";
+  const ClientResponse first = http_call("127.0.0.1", gateway.port(),
+                                         "POST", "/submit", body);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.status, 200);
+  const ClientResponse second = http_call("127.0.0.1", gateway.port(),
+                                          "POST", "/submit", body);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.status, 429);
+  EXPECT_FALSE(second.header("retry-after").empty());
+  EXPECT_GE(std::atoi(std::string(second.header("retry-after")).c_str()),
+            1);
+}
+
+// -------------------------------------------------- end-to-end serving --
+
+int state_rank(const std::string& state) {
+  if (state == "queued") {
+    return 0;
+  }
+  if (state == "matched") {
+    return 1;
+  }
+  // All of dispatched/expired/rejected are terminal.
+  return 2;
+}
+
+TEST(GatewayLive, EndToEndConservationAndForwardOnlyStatus) {
+  // Small but real engine in serve mode behind a live gateway.
+  sim::Platform platform =
+      sim::Platform::make_setting(sim::Setting::kA, 3);
+  sim::PseudoGnnEmbedder embedder;
+  core::PredictorConfig pcfg;
+  pcfg.hidden = {8};
+  Rng init(99);
+  core::PlatformPredictor predictor(3, pcfg, init);
+
+  engine::EngineConfig cfg;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait_hours = 0.1;
+  cfg.gamma = 0.6;
+  cfg.online_retraining = false;
+  cfg.eval.solver.max_iterations = 150;
+  engine::OnlineEngine eng(cfg, platform, embedder, predictor);
+
+  engine::GatewayLink link;
+  obs::MetricsRegistry registry;
+  PlatformGateway gateway(link, &registry, nullptr);
+
+  engine::ServeConfig serve_cfg;
+  serve_cfg.hours_per_second = 120.0;
+  serve_cfg.poll_ms = 5;
+  engine::EngineResult result;
+  std::thread engine_thread(
+      [&] { result = eng.serve(link, serve_cfg); });
+
+  // Concurrent submitters; generous deadlines so nothing expires on a
+  // slow CI machine.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int k = 0; k < kPerThread; ++k) {
+          for (int attempt = 0; attempt < 50; ++attempt) {
+            const ClientResponse r = http_call(
+                "127.0.0.1", gateway.port(), "POST", "/submit",
+                "{\"family\":\"cnn\",\"deadline_hours\":200}");
+            if (r.ok && r.status == 200) {
+              ids[t].push_back(body_u64(r.body, "id"));
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+        }
+      });
+    }
+    for (std::thread& t : submitters) {
+      t.join();
+    }
+  }
+  std::vector<std::uint64_t> all_ids;
+  for (const auto& v : ids) {
+    all_ids.insert(all_ids.end(), v.begin(), v.end());
+  }
+  ASSERT_GT(all_ids.size(), 0u);
+
+  // Poll every task to a terminal state, asserting transitions only move
+  // forward (no torn reads: a dispatched task never reads queued again).
+  std::map<std::uint64_t, int> rank;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::size_t terminal = 0;
+  while (terminal < all_ids.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    terminal = 0;
+    for (const std::uint64_t id : all_ids) {
+      const ClientResponse r =
+          http_call("127.0.0.1", gateway.port(), "GET",
+                    "/task/" + std::to_string(id));
+      ASSERT_TRUE(r.ok) << r.error;
+      ASSERT_EQ(r.status, 200);
+      const std::string state = body_str(r.body, "state");
+      const int now_rank = state_rank(state);
+      const auto it = rank.find(id);
+      if (it != rank.end()) {
+        EXPECT_LE(it->second, now_rank)
+            << "task " << id << " went backwards to " << state;
+      }
+      rank[id] = now_rank;
+      if (now_rank == 2) {
+        ++terminal;
+      }
+    }
+    if (terminal < all_ids.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_EQ(terminal, all_ids.size());
+
+  link.request_stop();
+  engine_thread.join();
+  gateway.stop();
+
+  // Conservation at drain: everything accepted is accounted terminal.
+  const engine::ServiceStats stats = link.stats();
+  EXPECT_EQ(stats.submitted, all_ids.size());
+  EXPECT_EQ(stats.tasks.submitted, all_ids.size());
+  EXPECT_EQ(stats.tasks.queued, 0u);
+  EXPECT_EQ(stats.tasks.matched, 0u);
+  EXPECT_EQ(stats.tasks.dispatched + stats.tasks.expired +
+                stats.tasks.rejected,
+            all_ids.size());
+  EXPECT_GT(stats.rounds, 0u);
+  // The engine's own ledger agrees with the gateway's.
+  EXPECT_EQ(result.counters.arrivals, all_ids.size());
+  // Request metrics were recorded with route/status labels.
+  bool saw_submit_counter = false;
+  for (const auto& [name, value] : registry.snapshot().counters) {
+    if (name ==
+        "mfcp_gateway_requests_total{route=\"/submit\",status=\"200\"}") {
+      saw_submit_counter = value == all_ids.size();
+    }
+  }
+  EXPECT_TRUE(saw_submit_counter);
+}
+
+}  // namespace
+}  // namespace mfcp::net

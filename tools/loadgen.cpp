@@ -1,0 +1,343 @@
+// Closed-loop HTTP load generator for the platform gateway.
+//
+// N worker threads each run a submit loop against POST /submit: draw a
+// random task descriptor, send it, record the outcome and latency, and
+// (when --rate is set) pace themselves against a shared schedule so the
+// offered load approximates the requested arrivals/second; --rate 0 is
+// the pure closed loop, each worker submitting as fast as its previous
+// response returns.
+//
+// After the configured duration the generator stops offering load, waits
+// for the platform to drain (polling GET /stats until nothing is queued
+// or --drain-seconds elapses), spot-checks a few accepted ids against
+// GET /task/<id>, and prints a deterministic-format report:
+//
+//   loadgen: requests=... accepted=... rejected_429=... ...
+//   loadgen: latency_ms p50=... p90=... p99=... max=...
+//   loadgen: conservation submitted=... ... : OK
+//
+// The conservation line asserts the gateway's core promise: every
+// accepted task is in exactly one of queued / matched / dispatched /
+// expired / rejected — accepted work is never silently lost. Exit code 0
+// on success, 1 on a conservation or validation failure, 2 on usage or
+// total transport failure.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/http_client.hpp"
+#include "net/json.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int concurrency = 4;
+  double rate = 0.0;  // offered arrivals/second across all workers; 0 = max
+  double duration_seconds = 5.0;
+  double drain_seconds = 15.0;
+  int timeout_ms = 5000;
+  std::uint64_t seed = 0x10adULL;
+};
+
+struct WorkerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_429 = 0;
+  std::uint64_t http_other = 0;
+  std::uint64_t transport_errors = 0;
+  std::vector<double> latencies_ms;
+  std::vector<std::uint64_t> accepted_ids;
+};
+
+std::string random_task_body(mfcp::Rng& rng) {
+  static const char* kFamilies[] = {"cnn", "transformer", "rnn", "mlp"};
+  const std::uint64_t f = rng.uniform_index(4);
+  // Family/dataset pairings mirror the simulator: CV models on image
+  // datasets, NLP models on Europarl.
+  const char* dataset = "cifar-10";
+  if (f == 1 || f == 2) {
+    dataset = "europarl";
+  } else if (rng.bernoulli(0.3)) {
+    dataset = "imagenet";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"family\":\"%s\",\"dataset\":\"%s\",\"depth\":%d,"
+                "\"width\":%d,\"batch_size\":%d,\"dataset_fraction\":%.2f}",
+                kFamilies[f], dataset,
+                static_cast<int>(2 + rng.uniform_index(30)),
+                static_cast<int>(32 + 32 * rng.uniform_index(16)),
+                static_cast<int>(16 + 16 * rng.uniform_index(16)),
+                0.1 + 0.9 * rng.uniform());
+  return buf;
+}
+
+void submit_loop(const Options& opt, Clock::time_point t0,
+                 std::atomic<std::uint64_t>& ticket, mfcp::Rng rng,
+                 WorkerStats& stats) {
+  const auto deadline =
+      t0 + std::chrono::duration<double>(opt.duration_seconds);
+  for (;;) {
+    if (opt.rate > 0.0) {
+      // Shared open-loop schedule: ticket i fires at t0 + i/rate.
+      const std::uint64_t i =
+          ticket.fetch_add(1, std::memory_order_relaxed);
+      const auto fire =
+          t0 + std::chrono::duration<double>(static_cast<double>(i) /
+                                             opt.rate);
+      if (fire >= deadline) {
+        return;
+      }
+      std::this_thread::sleep_until(fire);
+    } else if (Clock::now() >= deadline) {
+      return;
+    }
+
+    const std::string body = random_task_body(rng);
+    const auto start = Clock::now();
+    const mfcp::net::ClientResponse r =
+        mfcp::net::http_call(opt.host, static_cast<std::uint16_t>(opt.port),
+                             "POST", "/submit", body, opt.timeout_ms);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    ++stats.requests;
+    if (!r.ok) {
+      ++stats.transport_errors;
+      continue;
+    }
+    stats.latencies_ms.push_back(ms);
+    if (r.status == 200) {
+      ++stats.accepted;
+      const auto fields = mfcp::net::parse_json_object(r.body);
+      if (fields.has_value()) {
+        const auto it = fields->find("id");
+        if (it != fields->end() &&
+            it->second.kind == mfcp::net::JsonValue::Kind::kNumber) {
+          stats.accepted_ids.push_back(
+              static_cast<std::uint64_t>(it->second.num));
+        }
+      }
+    } else if (r.status == 429) {
+      ++stats.rejected_429;
+      // Honor a fraction of the advised backoff so a saturated platform
+      // is not hammered at full closed-loop speed, while still probing
+      // recovery faster than a compliant client would.
+      const std::string_view retry = r.header("retry-after");
+      double seconds = 0.05;
+      if (!retry.empty()) {
+        seconds = std::min(0.25, std::atof(std::string(retry).c_str()) * 0.1);
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    } else {
+      ++stats.http_other;
+    }
+  }
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::uint64_t stat_u64(const std::map<std::string, mfcp::net::JsonValue>& s,
+                       const std::string& key) {
+  const auto it = s.find(key);
+  if (it == s.end() || it->second.kind != mfcp::net::JsonValue::Kind::kNumber) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(it->second.num);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P [--host H] [--concurrency N] [--rate R]\n"
+      "          [--duration-seconds S] [--drain-seconds S]\n"
+      "          [--timeout-ms MS] [--seed N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--port") == 0 && k + 1 < argc) {
+      opt.port = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--host") == 0 && k + 1 < argc) {
+      opt.host = argv[++k];
+    } else if (std::strcmp(argv[k], "--concurrency") == 0 && k + 1 < argc) {
+      opt.concurrency = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--rate") == 0 && k + 1 < argc) {
+      opt.rate = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--duration-seconds") == 0 &&
+               k + 1 < argc) {
+      opt.duration_seconds = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--drain-seconds") == 0 && k + 1 < argc) {
+      opt.drain_seconds = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--timeout-ms") == 0 && k + 1 < argc) {
+      opt.timeout_ms = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--seed") == 0 && k + 1 < argc) {
+      opt.seed = std::strtoull(argv[++k], nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.port <= 0 || opt.port > 65535 || opt.concurrency < 1) {
+    return usage(argv[0]);
+  }
+
+  std::printf("loadgen: target http://%s:%d concurrency=%d rate=%.3g "
+              "duration_seconds=%.3g\n",
+              opt.host.c_str(), opt.port, opt.concurrency, opt.rate,
+              opt.duration_seconds);
+
+  mfcp::Rng root(opt.seed);
+  std::vector<WorkerStats> per_worker(
+      static_cast<std::size_t>(opt.concurrency));
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> ticket{0};
+  const auto t0 = Clock::now();
+  for (int w = 0; w < opt.concurrency; ++w) {
+    workers.emplace_back(submit_loop, std::cref(opt), t0, std::ref(ticket),
+                         root.split(), std::ref(per_worker[w]));
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  WorkerStats total;
+  for (const WorkerStats& w : per_worker) {
+    total.requests += w.requests;
+    total.accepted += w.accepted;
+    total.rejected_429 += w.rejected_429;
+    total.http_other += w.http_other;
+    total.transport_errors += w.transport_errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              w.latencies_ms.begin(), w.latencies_ms.end());
+    total.accepted_ids.insert(total.accepted_ids.end(),
+                              w.accepted_ids.begin(), w.accepted_ids.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+
+  std::printf("loadgen: requests=%" PRIu64 " accepted=%" PRIu64
+              " rejected_429=%" PRIu64 " http_other=%" PRIu64
+              " transport_errors=%" PRIu64 "\n",
+              total.requests, total.accepted, total.rejected_429,
+              total.http_other, total.transport_errors);
+  std::printf("loadgen: achieved_qps=%.2f\n",
+              elapsed > 0.0 ? static_cast<double>(total.requests) / elapsed
+                            : 0.0);
+  std::printf("loadgen: latency_ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+              quantile(total.latencies_ms, 0.50),
+              quantile(total.latencies_ms, 0.90),
+              quantile(total.latencies_ms, 0.99),
+              total.latencies_ms.empty() ? 0.0
+                                         : total.latencies_ms.back());
+
+  if (total.requests == 0 || total.transport_errors == total.requests) {
+    std::fprintf(stderr, "loadgen: no successful requests\n");
+    return 2;
+  }
+
+  // Drain: stop offering load and wait for the platform to settle.
+  const auto drain_start = Clock::now();
+  std::map<std::string, mfcp::net::JsonValue> stats;
+  for (;;) {
+    const mfcp::net::ClientResponse r =
+        mfcp::net::http_call(opt.host, static_cast<std::uint16_t>(opt.port),
+                             "GET", "/stats", {}, opt.timeout_ms);
+    if (r.ok && r.status == 200) {
+      const auto parsed = mfcp::net::parse_json_object(r.body);
+      if (parsed.has_value()) {
+        stats = *parsed;
+        if (stat_u64(stats, "tasks_queued") == 0 &&
+            stat_u64(stats, "inbox_depth") == 0) {
+          break;
+        }
+      }
+    }
+    if (std::chrono::duration<double>(Clock::now() - drain_start).count() >=
+        opt.drain_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  const double drain_waited =
+      std::chrono::duration<double>(Clock::now() - drain_start).count();
+
+  const std::uint64_t submitted = stat_u64(stats, "tasks_submitted");
+  const std::uint64_t queued = stat_u64(stats, "tasks_queued");
+  const std::uint64_t matched = stat_u64(stats, "tasks_matched");
+  const std::uint64_t dispatched = stat_u64(stats, "tasks_dispatched");
+  const std::uint64_t expired = stat_u64(stats, "tasks_expired");
+  const std::uint64_t rejected = stat_u64(stats, "tasks_rejected");
+  std::printf("loadgen: drain queued=%" PRIu64 " inbox=%" PRIu64
+              " waited_seconds=%.2f\n",
+              queued, stat_u64(stats, "inbox_depth"), drain_waited);
+
+  // Spot-check a few accepted ids end to end.
+  std::uint64_t status_checked = 0;
+  std::uint64_t status_bad = 0;
+  const std::size_t step =
+      std::max<std::size_t>(1, total.accepted_ids.size() / 16);
+  for (std::size_t i = 0; i < total.accepted_ids.size(); i += step) {
+    const std::uint64_t id = total.accepted_ids[i];
+    const mfcp::net::ClientResponse r = mfcp::net::http_call(
+        opt.host, static_cast<std::uint16_t>(opt.port), "GET",
+        "/task/" + std::to_string(id), {}, opt.timeout_ms);
+    ++status_checked;
+    if (!r.ok || r.status != 200) {
+      ++status_bad;
+      continue;
+    }
+    const auto parsed = mfcp::net::parse_json_object(r.body);
+    if (!parsed.has_value() || stat_u64(*parsed, "id") != id) {
+      ++status_bad;
+    }
+  }
+  std::printf("loadgen: status_checked=%" PRIu64 " status_bad=%" PRIu64 "\n",
+              status_checked, status_bad);
+
+  // Conservation: every accepted task is in exactly one lifecycle state,
+  // and the platform accepted at least what this client saw accepted
+  // (other clients may add to `submitted`; nothing may vanish from it).
+  const std::uint64_t accounted =
+      queued + matched + dispatched + expired + rejected;
+  const bool conserved =
+      accounted == submitted && submitted >= total.accepted;
+  std::printf("loadgen: conservation submitted=%" PRIu64 " queued=%" PRIu64
+              " matched=%" PRIu64 " dispatched=%" PRIu64 " expired=%" PRIu64
+              " rejected=%" PRIu64 " : %s\n",
+              submitted, queued, matched, dispatched, expired, rejected,
+              conserved ? "OK" : "FAILED");
+  if (!conserved || status_bad != 0) {
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,12 @@
 //                           * every histogram family with observations has
 //                             a sibling `<base>_quantile` gauge family.
 //
+//   --require-gateway     fail unless the exposition carries the platform
+//                         gateway's metric families: request counters with
+//                         route=/status= labels, a nonzero submit-latency
+//                         histogram, and its complete _quantile gauge set
+//                         (quantile= 0.5, 0.9, 0.99 — no gaps, no extras).
+//
 //   --journal <file>      engine round journal (JSONL). Checks each line
 //                         is a flat JSON object and, where the regret-
 //                         attribution fields are present, that they sum to
@@ -122,7 +128,22 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-int check_exposition(const std::string& path) {
+/// Extracts the value of `label="..."` from a label string, or nullopt.
+std::optional<std::string> label_value(const std::string& labels,
+                                       const char* label) {
+  const std::string needle = std::string(label) + "=\"";
+  const std::size_t pos = labels.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::size_t close = labels.find('"', pos + needle.size());
+  if (close == std::string::npos) {
+    return std::nullopt;
+  }
+  return labels.substr(pos + needle.size(), close - pos - needle.size());
+}
+
+int check_exposition(const std::string& path, bool require_gateway) {
   std::ifstream in(path);
   if (!in.is_open()) {
     std::fprintf(stderr, "cannot open exposition file %s\n", path.c_str());
@@ -144,6 +165,10 @@ int check_exposition(const std::string& path) {
   bool saw_sum = false;
   std::set<std::string> nonzero_histograms;
   std::set<std::string> quantile_families;
+
+  // Gateway-family evidence for --require-gateway.
+  std::size_t gateway_request_samples = 0;
+  std::set<std::string> gateway_quantiles;
 
   auto close_series = [&](std::size_t line_no, const std::string& line) {
     if (!series_key.empty() || last_bucket >= 0.0) {
@@ -209,6 +234,22 @@ int check_exposition(const std::string& path) {
       fail("sample before any TYPE header", line_no, line);
       continue;
     }
+    if (family == "mfcp_gateway_requests_total" &&
+        label_value(s->labels, "route").has_value() &&
+        label_value(s->labels, "status").has_value()) {
+      ++gateway_request_samples;
+    }
+    if (family == "mfcp_gateway_submit_seconds_quantile") {
+      if (const auto q = label_value(s->labels, "quantile")) {
+        if (!gateway_quantiles.insert(*q).second) {
+          fail("duplicate gateway quantile series for quantile=" + *q,
+               line_no, line);
+        }
+      } else {
+        fail("gateway quantile sample without a quantile label", line_no,
+             line);
+      }
+    }
     if (family_kind == "histogram") {
       if (s->name == family + "_bucket") {
         const auto le = split_le(s->labels);
@@ -262,10 +303,37 @@ int check_exposition(const std::string& path) {
            line_no + 1, "<eof>");
     }
   }
+  if (require_gateway) {
+    if (gateway_request_samples == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --require-gateway but no "
+                   "mfcp_gateway_requests_total sample carries route= and "
+                   "status= labels\n");
+      ++failures;
+    }
+    if (nonzero_histograms.count("mfcp_gateway_submit_seconds") == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --require-gateway but mfcp_gateway_submit_seconds "
+                   "has no observations\n");
+      ++failures;
+    }
+    const std::set<std::string> expected = {"0.5", "0.9", "0.99"};
+    if (gateway_quantiles != expected) {
+      std::string got;
+      for (const std::string& q : gateway_quantiles) {
+        got += (got.empty() ? "" : ",") + q;
+      }
+      std::fprintf(stderr,
+                   "FAIL: --require-gateway: submit quantile family must "
+                   "carry exactly quantile= 0.5,0.9,0.99 (got: %s)\n",
+                   got.empty() ? "<none>" : got.c_str());
+      ++failures;
+    }
+  }
   std::printf("exposition %s: %zu lines, %zu families, %zu histograms with "
-              "observations\n",
+              "observations, %zu gateway request samples\n",
               path.c_str(), line_no, seen_families.size(),
-              nonzero_histograms.size());
+              nonzero_histograms.size(), gateway_request_samples);
   return failures == 0 ? 0 : 1;
 }
 
@@ -346,6 +414,7 @@ int main(int argc, char** argv) {
   std::string exposition_path;
   std::string journal_path;
   bool require_attribution = false;
+  bool require_gateway = false;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--exposition") == 0 && k + 1 < argc) {
       exposition_path = argv[++k];
@@ -353,10 +422,12 @@ int main(int argc, char** argv) {
       journal_path = argv[++k];
     } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
       require_attribution = true;
+    } else if (std::strcmp(argv[k], "--require-gateway") == 0) {
+      require_gateway = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--exposition <file>] [--journal <file>] "
-                   "[--require-attribution]\n",
+                   "[--require-attribution] [--require-gateway]\n",
                    argv[0]);
       return 2;
     }
@@ -367,7 +438,7 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   if (!exposition_path.empty()) {
-    rc = std::max(rc, check_exposition(exposition_path));
+    rc = std::max(rc, check_exposition(exposition_path, require_gateway));
   }
   if (!journal_path.empty()) {
     rc = std::max(rc, check_journal(journal_path, require_attribution));
