@@ -23,6 +23,12 @@
 //           additionally writes one JSONL record per round, both modes,
 //           tagged {"mode":...} — deterministic, so two seeded runs diff
 //           clean (the CI determinism guard relies on this).
+//       ./build/bench/exp_online_engine --trace-sample <rate>
+//           samples task-lifecycle traces at <rate> in [0,1]; with
+//           --journal they drain to <path>.tasktraces (sim-time fields
+//           only, so they are as deterministic as the journal itself).
+//           The round journal is byte-identical whether sampling is on or
+//           off — CI compares the two directly.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +39,8 @@
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace_store.hpp"
 #include "nn/serialize.hpp"
 #include "sim/dataset.hpp"
 #include "support/stopwatch.hpp"
@@ -140,9 +148,16 @@ double timed_run(const Scenario& scenario,
   // scrapes, so the 5% budget prices everything at once.
   cfg.attribution = registry != nullptr;
   std::unique_ptr<obs::HttpExporter> exporter;
+  // The instrumented arm also prices task tracing (sampled) and the SLO
+  // burn-rate monitor, so the budget covers the full stack.
+  obs::TraceStore task_traces(1024);
+  obs::SloMonitor slo;
   if (registry != nullptr) {
     exporter = std::make_unique<obs::HttpExporter>(
         [registry] { return registry->snapshot(); });
+    cfg.task_traces = &task_traces;
+    cfg.trace_sample_rate = 0.25;
+    cfg.slo = &slo;
   }
   obs::set_default_registry(registry);
   engine::OnlineEngine eng(cfg, scenario.platform, scenario.embedder,
@@ -158,6 +173,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool journal_enabled = false;
   std::string journal_path = "online_engine.jsonl";
+  double trace_sample = 0.0;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--quick") == 0) {
       quick = true;
@@ -166,9 +182,13 @@ int main(int argc, char** argv) {
       if (k + 1 < argc && argv[k + 1][0] != '-') {
         journal_path = argv[++k];
       }
+    } else if (std::strcmp(argv[k], "--trace-sample") == 0 && k + 1 < argc) {
+      trace_sample = std::strtod(argv[++k], nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--journal [path]]\n", argv[0]);
+                   "usage: %s [--quick] [--journal [path]] "
+                   "[--trace-sample <rate>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -233,6 +253,17 @@ int main(int argc, char** argv) {
     trace_ring = std::make_unique<obs::TraceRing>(512);
     spans_out = std::make_unique<obs::JsonlWriter>(journal_path + ".spans");
   }
+  // Task-lifecycle traces carry sim-time endpoints only, so they share the
+  // journal's determinism and drain to their own sibling file.
+  std::unique_ptr<obs::TraceStore> task_traces;
+  std::unique_ptr<obs::JsonlWriter> tasktraces_out;
+  if (trace_sample > 0.0) {
+    task_traces = std::make_unique<obs::TraceStore>(4096);
+    if (journal_enabled) {
+      tasktraces_out =
+          std::make_unique<obs::JsonlWriter>(journal_path + ".tasktraces");
+    }
+  }
   std::vector<std::pair<std::string, bool>> modes = {{"frozen", false},
                                                      {"online", true}};
   Table csv({"mode", "round", "close_hours", "trigger", "batch",
@@ -252,6 +283,10 @@ int main(int argc, char** argv) {
         engine_config(online, drift_at, max_arrivals, drift_cluster);
     run_cfg.attribution = true;
     run_cfg.trace = trace_ring.get();
+    run_cfg.task_traces = task_traces.get();
+    run_cfg.trace_sample_rate = trace_sample;
+    obs::SloMonitor slo;
+    run_cfg.slo = &slo;
     engine::OnlineEngine eng(run_cfg, scenario.platform, scenario.embedder,
                              predictor, &pool);
     Stopwatch watch;
@@ -286,6 +321,23 @@ int main(int argc, char** argv) {
     if (spans_out != nullptr && trace_ring != nullptr) {
       trace_ring->drain_to(*spans_out);
     }
+    if (task_traces != nullptr) {
+      std::printf("   task traces: %llu begun, %zu resident, %llu evicted\n",
+                  static_cast<unsigned long long>(task_traces->begun()),
+                  task_traces->size(),
+                  static_cast<unsigned long long>(task_traces->evicted()));
+      if (tasktraces_out != nullptr) {
+        task_traces->drain_to(*tasktraces_out, label);
+      }
+    }
+
+    // End-of-run SLO state: burn rates over the final windows, one row per
+    // rule (the same numbers GET /alerts would serve in gateway mode).
+    const double end_hours =
+        result.rounds.empty() ? 0.0 : result.rounds.back().close_hours;
+    std::printf("   SLO state [%s] at t=%.2fh:\n%s", label.c_str(),
+                end_hours,
+                obs::slo_summary_table(slo.evaluate(end_hours)).c_str());
 
     post_drift_regret[mode_index++] =
         mean_regret_after(result.rounds, drift_at);
@@ -324,6 +376,11 @@ int main(int argc, char** argv) {
     spans_out->flush();
     std::printf("spans written to %s.spans (%zu records)\n",
                 journal_path.c_str(), spans_out->records_written());
+  }
+  if (tasktraces_out != nullptr) {
+    tasktraces_out->flush();
+    std::printf("task traces written to %s.tasktraces (%zu records)\n",
+                journal_path.c_str(), tasktraces_out->records_written());
   }
 
   // Telemetry overhead: the same frozen-mode engine with instrumentation

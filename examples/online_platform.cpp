@@ -55,6 +55,8 @@
 #include "net/gateway.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/sinks.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace_store.hpp"
 #include "sim/dataset.hpp"
 
 using namespace mfcp;
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   int gateway_port = -1;  // -1 = batch mode; >= 0 starts the gateway
   double serve_seconds = 0.0;  // 0 = until SIGINT/SIGTERM
   double hours_per_second = 60.0;
+  double trace_sample = 0.0;  // task-lifecycle trace sampling rate [0,1]
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
       serve_port = std::atoi(argv[++k]);
@@ -98,11 +101,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[k], "--sim-hours-per-second") == 0 &&
                k + 1 < argc) {
       hours_per_second = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--trace-sample") == 0 && k + 1 < argc) {
+      trace_sample = std::atof(argv[++k]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve-port N] [--linger-seconds S]\n"
                    "          [--gateway-port N] [--serve-seconds S]\n"
-                   "          [--sim-hours-per-second X]\n",
+                   "          [--sim-hours-per-second X] "
+                   "[--trace-sample R]\n",
                    argv[0]);
       return 2;
     }
@@ -169,6 +175,15 @@ int main(int argc, char** argv) {
   cfg.attribution = true;
   obs::set_default_registry(&registry);
 
+  // Task-lifecycle tracing (per-task span chains behind GET /trace/<id>)
+  // and the SLO burn-rate monitor (behind GET /alerts + mfcp_slo_*
+  // gauges). Tracing stays off unless --trace-sample > 0.
+  obs::TraceStore task_traces(4096);
+  obs::SloMonitor slo;
+  cfg.task_traces = &task_traces;
+  cfg.trace_sample_rate = trace_sample;
+  cfg.slo = &slo;
+
   ThreadPool pool;
   engine::OnlineEngine eng(cfg, platform, embedder, predictor, &pool);
   engine::EngineResult result;
@@ -176,10 +191,20 @@ int main(int argc, char** argv) {
   if (gateway_mode) {
     // Platform gateway: external submissions over HTTP drive the engine
     // in real time; /metrics and /healthz ride on the same server.
-    engine::GatewayLink link;
+    engine::GatewayLinkConfig link_cfg;
+    link_cfg.traces = &task_traces;
+    link_cfg.trace_sample_rate = trace_sample;
+    engine::GatewayLink link(link_cfg);
     net::GatewayConfig gateway_cfg;
     gateway_cfg.http.port = static_cast<std::uint16_t>(gateway_port);
+    gateway_cfg.slo = &slo;
+    gateway_cfg.traces = &task_traces;
     net::PlatformGateway gateway(link, &registry, &trace, gateway_cfg);
+    // Resolution near the 50 ms submit-latency target instead of the
+    // generic decade grid (safe here: nothing has observed into the
+    // histogram yet).
+    obs::tighten_latency_buckets(registry, "mfcp_gateway_submit_seconds",
+                                 slo.config().submit_latency_target_seconds);
     std::printf("gateway listening on http://127.0.0.1:%u\n",
                 static_cast<unsigned>(gateway.port()));
     std::fflush(stdout);
@@ -291,6 +316,23 @@ int main(int argc, char** argv) {
   std::printf("\njournal: online_platform.jsonl (%zu records); "
               "online_platform.spans holds the last %zu spans\n",
               journal.records_written(), drained);
+
+  // SLO state at shutdown — the same rows GET /alerts serves live — plus
+  // the sampled task traces to their own JSONL file.
+  const double end_hours =
+      result.rounds.empty() ? 0.0 : result.rounds.back().close_hours;
+  std::printf("\nSLO state at t=%.2fh:\n%s", end_hours,
+              obs::slo_summary_table(slo.evaluate(end_hours)).c_str());
+  if (trace_sample > 0.0) {
+    obs::JsonlWriter tasktraces("online_platform.tasktraces");
+    std::printf("task traces: %llu begun, %llu evicted; drained %zu to "
+                "online_platform.tasktraces\n",
+                static_cast<unsigned long long>(task_traces.begun()),
+                static_cast<unsigned long long>(task_traces.evicted()),
+                task_traces.size());
+    task_traces.drain_to(tasktraces, gateway_mode ? "gateway" : "batch");
+    tasktraces.flush();
+  }
   // Quantiles the scrape-side would derive from the histogram buckets —
   // printed here from the same estimator the exposition's _quantile
   // gauges use.

@@ -40,7 +40,81 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
               return a.at_hours < b.at_hours;
             });
   queue_.set_loss_tracking(config_.attribution);
+  // Lifecycle bookkeeping for every lost arrival, in run() and serve()
+  // alike: traced tasks get their terminal span, externally submitted
+  // tasks their status-table transition. Both paths are no-ops when their
+  // sink is absent.
+  queue_.set_loss_callback(
+      [this](const Arrival& a, AdmissionQueue::Loss loss) {
+        const bool expired = loss == AdmissionQueue::Loss::kExpired;
+        if (config_.task_traces != nullptr) {
+          const char* state = expired ? "expired" : "rejected";
+          obs::TaskSpan span;
+          span.name = state;
+          span.start_hours = a.time_hours;
+          span.end_hours = clock_hours_;
+          if (config_.task_traces->append(a.id, std::move(span))) {
+            config_.task_traces->finish(a.id, state);
+          }
+        }
+        if (link_ != nullptr && a.id >= kExternalIdBase) {
+          link_->table().mark_lost(a.id, expired ? TaskState::kExpired
+                                                 : TaskState::kRejected);
+        }
+      });
+  if (config_.slo != nullptr && config_.registry != nullptr) {
+    config_.slo->bind_metrics(config_.registry);
+  }
   bind_metrics();
+}
+
+bool OnlineEngine::task_traced(std::uint64_t task_id) const noexcept {
+  return config_.task_traces != nullptr &&
+         obs::trace_sampled(
+             obs::mint_trace_id(task_id, config_.trace_salt),
+             config_.trace_sample_rate);
+}
+
+void OnlineEngine::maybe_begin_trace(const Arrival& arrival) {
+  if (config_.task_traces == nullptr || arrival.id >= kExternalIdBase) {
+    return;  // external tasks were opened at POST /submit
+  }
+  const std::uint64_t trace_id =
+      obs::mint_trace_id(arrival.id, config_.trace_salt);
+  if (!obs::trace_sampled(trace_id, config_.trace_sample_rate)) {
+    return;
+  }
+  if (config_.task_traces->begin(arrival.id, trace_id, arrival.time_hours)) {
+    obs::TaskSpan span;
+    span.name = "submit";
+    span.start_hours = arrival.time_hours;
+    span.end_hours = arrival.time_hours;
+    config_.task_traces->append(arrival.id, std::move(span));
+  }
+}
+
+void OnlineEngine::note_slo(const RoundRecord* rec) {
+  if (config_.slo == nullptr) {
+    return;
+  }
+  const std::uint64_t expired_total = queue_.stats().expired;
+  const std::uint64_t expired_delta = expired_total - slo_expired_seen_;
+  slo_expired_seen_ = expired_total;
+  if (rec != nullptr) {
+    // Regret-gap SLI: the attribution total when available (it equals the
+    // realized regret plus the admission counterfactual), the raw round
+    // regret otherwise.
+    const double gap =
+        rec->attribution.valid ? rec->attribution.total : rec->regret;
+    config_.slo->observe_round(clock_hours_, rec->batch, rec->dispatch_ok,
+                               expired_delta, gap, true);
+  } else if (expired_delta > 0) {
+    config_.slo->observe_round(clock_hours_, 0, 0, expired_delta, 0.0,
+                               false);
+  } else {
+    return;  // nothing new; keep the previous evaluation
+  }
+  config_.slo->evaluate(clock_hours_);
 }
 
 void OnlineEngine::bind_metrics() {
@@ -127,12 +201,14 @@ void OnlineEngine::advance_clock(double to_hours) {
 bool OnlineEngine::finish_round(RoundTrigger trigger, RunLog& log) {
   queue_.expire(clock_hours_);
   if (queue_.empty()) {
+    note_slo(nullptr);
     if (link_ != nullptr) {
       link_->note_queue_depth(0);
     }
     return false;
   }
   RoundRecord rec = run_round(trigger);
+  note_slo(&rec);
 
   // Trailing rolling window for the CSV...
   log.recent_regret.push_back(rec.regret);
@@ -211,6 +287,7 @@ EngineResult OnlineEngine::run() {
       auto arrival = arrivals_.next();
       ++counters_.arrivals;
       queue_.expire(clock_hours_);
+      maybe_begin_trace(*arrival);
       if (queue_.push(std::move(*arrival))) {
         ++counters_.admitted;
       }
@@ -242,16 +319,8 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
 
   link_ = &link;
   // Externally submitted tasks lost by the queue become terminal in the
-  // status table (capacity → rejected, deadline → expired).
-  queue_.set_loss_callback(
-      [this](const Arrival& a, AdmissionQueue::Loss loss) {
-        if (link_ != nullptr && a.id >= kExternalIdBase) {
-          link_->table().mark_lost(a.id,
-                                   loss == AdmissionQueue::Loss::kExpired
-                                       ? TaskState::kExpired
-                                       : TaskState::kRejected);
-        }
-      });
+  // status table through the loss callback installed at construction
+  // (capacity → rejected, deadline → expired).
   // Retry-After prior until a real round cadence is observed: one
   // batching window of wall time per round.
   link.configure_drain(
@@ -269,6 +338,7 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   const auto admit = [&](Arrival arrival) {
     ++counters_.arrivals;
     queue_.expire(clock_hours_);
+    maybe_begin_trace(arrival);
     if (queue_.push(std::move(arrival))) {
       ++counters_.admitted;
     }
@@ -358,7 +428,6 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   finalize(log, wall.seconds());
   link.note_queue_depth(queue_.depth());
   link.note_sim_time(clock_hours_);
-  queue_.set_loss_callback(nullptr);
   link_ = nullptr;
   return std::move(log.result);
 }
@@ -381,6 +450,37 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   }
   batcher_.record_round(trigger, tasks.size());
 
+  // Task-lifecycle spans for sampled batch members. Sim-time endpoints
+  // are deterministic; the per-stage wall durations below are diagnostic
+  // and never exported to the deterministic journal.
+  std::vector<char> traced;
+  bool any_traced = false;
+  double batch_open_hours = clock_hours_;
+  if (config_.task_traces != nullptr) {
+    traced.assign(batch.size(), 0);
+    for (const Arrival& a : batch) {
+      batch_open_hours = std::min(batch_open_hours, a.time_hours);
+    }
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      if (!task_traced(batch[j].id)) {
+        continue;
+      }
+      traced[j] = 1;
+      any_traced = true;
+      obs::TaskSpan wait_span;
+      wait_span.name = "queue_wait";
+      wait_span.start_hours = batch[j].time_hours;
+      wait_span.end_hours = clock_hours_;
+      config_.task_traces->append(batch[j].id, std::move(wait_span));
+      obs::TaskSpan batch_span;
+      batch_span.name = "batch";
+      batch_span.start_hours = batch_open_hours;
+      batch_span.end_hours = clock_hours_;
+      config_.task_traces->append(batch[j].id, std::move(batch_span));
+    }
+  }
+
+  Stopwatch predict_watch;
   obs::ScopedSpan embed_span(telemetry_.embed, "embed", config_.trace);
   const Matrix features = embedder_.embed_batch(tasks);
   embed_span.stop();
@@ -395,6 +495,8 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   const Matrix t_hat = predictor_.predict_time_matrix(features);
   const Matrix a_hat = predictor_.predict_reliability_matrix(features);
   predict_span.stop();
+  const double predict_ns =
+      any_traced ? predict_watch.seconds() * 1e9 : 0.0;
   const matching::MatchingProblem predicted =
       truth.with_metrics(t_hat, a_hat);
 
@@ -440,6 +542,30 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   const core::MatchOutcome outcome =
       core::evaluate_assignment(truth, deployed, reference);
 
+  // Per-task predict + match spans, now that assignments are known.
+  if (any_traced) {
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (traced[j] == 0) {
+        continue;
+      }
+      const auto ci = static_cast<std::size_t>(deployed[j]);
+      obs::TaskSpan p;
+      p.name = "predict";
+      p.start_hours = clock_hours_;
+      p.end_hours = clock_hours_;
+      p.duration_ns = static_cast<std::uint64_t>(predict_ns);
+      config_.task_traces->append(batch[j].id, std::move(p));
+      obs::TaskSpan m_span;
+      m_span.name = "match";
+      m_span.start_hours = clock_hours_;
+      m_span.end_hours = clock_hours_;
+      m_span.duration_ns = static_cast<std::uint64_t>(solve_seconds * 1e9);
+      m_span.value = t_hat(ci, j);  // predicted hours on the assignment
+      m_span.detail = platform_.cluster(ci).name();
+      config_.task_traces->append(batch[j].id, std::move(m_span));
+    }
+  }
+
   // Externally submitted tasks (serve mode) learn their assignment here.
   if (link_ != nullptr) {
     for (std::size_t j = 0; j < tasks.size(); ++j) {
@@ -453,11 +579,18 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   }
 
   // Dispatch for real: sample success/failure on the assigned clusters.
+  Stopwatch dispatch_watch;
   obs::ScopedSpan dispatch_span(telemetry_.dispatch, "dispatch",
                                 config_.trace);
   const sim::ExecutionOutcome run = sim::execute_assignment(
       platform_, tasks, deployed, dispatch_rng_, /*max_attempts=*/2);
   dispatch_span.stop();
+  const double dispatch_ns =
+      any_traced ? dispatch_watch.seconds() * 1e9 : 0.0;
+  std::size_t dispatch_ok = 0;
+  for (const bool ok : run.succeeded) {
+    dispatch_ok += ok ? 1 : 0;
+  }
 
   // Feedback: observed runtimes on assigned clusters (bandit feedback),
   // plus occasional shadow profiles of the full cluster column.
@@ -482,6 +615,23 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     if (link_ != nullptr && batch[j].id >= kExternalIdBase) {
       link_->table().mark_dispatched(batch[j].id, observed,
                                      run.succeeded[j]);
+    }
+
+    if (any_traced && traced[j] != 0) {
+      obs::TaskSpan d;
+      d.name = "dispatch";
+      d.start_hours = clock_hours_;
+      d.end_hours = clock_hours_;
+      d.duration_ns = static_cast<std::uint64_t>(dispatch_ns);
+      d.detail = run.succeeded[j] ? "ok" : "failed";
+      config_.task_traces->append(batch[j].id, std::move(d));
+      obs::TaskSpan f;
+      f.name = "feedback";
+      f.start_hours = clock_hours_;
+      f.end_hours = clock_hours_;
+      f.value = observed;  // the runtime the bandit loop learned from
+      config_.task_traces->append(batch[j].id, std::move(f));
+      config_.task_traces->finish(batch[j].id, "dispatched");
     }
 
     if (config_.profile_probability > 0.0 &&
@@ -527,6 +677,7 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   rec.retrained = retrained;
   rec.retrain_total = trainer_.retrain_count();
   rec.solve_seconds = solve_seconds;
+  rec.dispatch_ok = dispatch_ok;
 
   if (config_.attribution) {
     obs::ScopedSpan attr_span(telemetry_.attribute, "attribute",

@@ -34,7 +34,9 @@
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_store.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/embedding.hpp"
 #include "sim/failure.hpp"
@@ -108,6 +110,24 @@ struct EngineConfig {
   obs::MetricsRegistry* registry = nullptr;
   obs::TraceRing* trace = nullptr;
   obs::JsonlWriter* journal = nullptr;
+
+  /// Task-lifecycle tracing: sampled tasks accumulate per-stage spans
+  /// (submit → queue_wait → batch → predict → match → dispatch →
+  /// feedback, or a terminal expired/rejected) in `task_traces`. The
+  /// sampling decision is a pure function of (task id, trace_salt,
+  /// trace_sample_rate) — no RNG draw, no effect on decisions — so the
+  /// round journal stays byte-identical with tracing on or off, and the
+  /// gateway mints the same ids for external submissions. Null disables
+  /// tracing; span sim-time endpoints are deterministic, wall durations
+  /// are diagnostic only.
+  obs::TraceStore* task_traces = nullptr;
+  double trace_sample_rate = 0.0;
+  std::uint64_t trace_salt = 0;
+
+  /// SLO monitor: fed one observation per closed round (dispatch
+  /// successes, expiries, regret gap) and evaluated after each, on the
+  /// simulated clock. Borrowed; bound to `registry` when both are set.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// One closed matching round, as written to the metrics CSV.
@@ -128,6 +148,7 @@ struct RoundRecord {
   std::size_t retrain_total = 0;
   double rolling_regret = 0.0;   // mean over the trailing metrics window
   double solve_seconds = 0.0;    // wall clock (diagnostic, nondeterministic)
+  std::size_t dispatch_ok = 0;   // first-attempt successes (not journaled)
   /// Regret decomposition (valid only when EngineConfig::attribution).
   obs::RegretBreakdown attribution;
 };
@@ -219,6 +240,14 @@ class OnlineEngine {
 
   void advance_clock(double to_hours);
   RoundRecord run_round(RoundTrigger trigger);
+  /// Deterministic per-task sampling decision (see trace_sample_rate).
+  [[nodiscard]] bool task_traced(std::uint64_t task_id) const noexcept;
+  /// Opens the trace (+ submit span) for a sampled synthetic arrival;
+  /// external ids are opened by the gateway link at POST /submit.
+  void maybe_begin_trace(const Arrival& arrival);
+  /// Feeds the SLO monitor after a round (rec) or a between-round expiry
+  /// sweep (nullptr), then re-evaluates the burn rates.
+  void note_slo(const RoundRecord* rec);
   /// Expires the queue, runs one round if anything is left, and folds the
   /// record into `log` (returns false when the queue emptied first).
   bool finish_round(RoundTrigger trigger, RunLog& log);
@@ -254,6 +283,7 @@ class OnlineEngine {
 
   double clock_hours_ = 0.0;
   std::size_t next_drift_ = 0;
+  std::uint64_t slo_expired_seen_ = 0;  // queue expiry counter watermark
   EngineCounters counters_;
   Telemetry telemetry_;
   obs::AttributionRecorder attribution_recorder_;

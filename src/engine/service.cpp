@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_store.hpp"
 #include "support/check.hpp"
 
 namespace mfcp::engine {
@@ -56,6 +57,18 @@ void TaskStatusTable::mark_matched(std::uint64_t id, std::size_t cluster,
   ++counts_.matched;
 }
 
+void TaskStatusTable::note_terminal_locked(std::uint64_t id) {
+  if (capacity_ == 0) {
+    return;  // unbounded: no eviction bookkeeping at all
+  }
+  terminal_fifo_.push_back(id);
+  while (tasks_.size() > capacity_ && !terminal_fifo_.empty()) {
+    tasks_.erase(terminal_fifo_.front());
+    terminal_fifo_.pop_front();
+    ++evicted_;
+  }
+}
+
 void TaskStatusTable::mark_dispatched(std::uint64_t id,
                                       double realized_hours,
                                       bool succeeded) {
@@ -69,6 +82,7 @@ void TaskStatusTable::mark_dispatched(std::uint64_t id,
   it->second.succeeded = succeeded;
   --counts_.matched;
   ++counts_.dispatched;
+  note_terminal_locked(id);
 }
 
 void TaskStatusTable::mark_lost(std::uint64_t id, TaskState state) {
@@ -86,6 +100,7 @@ void TaskStatusTable::mark_lost(std::uint64_t id, TaskState state) {
   } else {
     ++counts_.rejected;
   }
+  note_terminal_locked(id);
 }
 
 std::optional<TaskStatus> TaskStatusTable::get(std::uint64_t id) const {
@@ -97,6 +112,23 @@ std::optional<TaskStatus> TaskStatusTable::get(std::uint64_t id) const {
   return it->second;
 }
 
+bool TaskStatusTable::was_evicted(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Every issued id stays resident until evicted, so "issued but absent"
+  // identifies eviction exactly — no tombstone set needed.
+  return id >= kExternalIdBase && id < next_id_ && tasks_.count(id) == 0;
+}
+
+std::size_t TaskStatusTable::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+std::uint64_t TaskStatusTable::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
 TaskStatusTable::Counts TaskStatusTable::counts() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counts_;
@@ -104,7 +136,8 @@ TaskStatusTable::Counts TaskStatusTable::counts() const {
 
 // ------------------------------------------------------------ link ------
 
-GatewayLink::GatewayLink(GatewayLinkConfig config) : config_(config) {
+GatewayLink::GatewayLink(GatewayLinkConfig config)
+    : config_(config), table_(config.status_capacity) {
   MFCP_CHECK(config_.max_pending > 0, "gateway inbox must be bounded > 0");
   MFCP_CHECK(config_.high_water > 0, "gateway high water must be positive");
   MFCP_CHECK(config_.default_deadline_hours > 0.0,
@@ -161,6 +194,20 @@ SubmitTicket GatewayLink::submit(const sim::TaskDescriptor& task,
     ticket.id =
         table_.insert(sim_time_hours_.load(std::memory_order_relaxed));
     inbox_.push_back(ExternalSubmission{ticket.id, task, deadline});
+  }
+  // Trace identity is minted outside the inbox lock: deterministic in
+  // (id, salt), so the engine recomputes the same decision on its side.
+  ticket.trace_id = obs::mint_trace_id(ticket.id, config_.trace_salt);
+  ticket.trace_sampled =
+      obs::trace_sampled(ticket.trace_id, config_.trace_sample_rate);
+  if (ticket.trace_sampled && config_.traces != nullptr) {
+    const double now = sim_time_hours_.load(std::memory_order_relaxed);
+    config_.traces->begin(ticket.id, ticket.trace_id, now);
+    obs::TaskSpan span;
+    span.name = "submit";
+    span.start_hours = now;
+    span.end_hours = now;
+    config_.traces->append(ticket.id, std::move(span));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   ready_.notify_one();

@@ -35,6 +35,10 @@
 
 #include "sim/task.hpp"
 
+namespace mfcp::obs {
+class TraceStore;
+}
+
 namespace mfcp::engine {
 
 /// External arrival ids live far above the synthetic stream's dense
@@ -67,8 +71,18 @@ struct TaskStatus {
 };
 
 /// Thread-safe id-keyed status store with monotonic state transitions.
+///
+/// Bounded: past `capacity` resident entries, *terminal* tasks
+/// (dispatched/expired/rejected) are evicted FIFO — in the order they
+/// reached a terminal state — so a long-lived service holds at most the
+/// cap plus every still-live task. Live (queued/matched) entries are
+/// never evicted; the forward-only contract is preserved because an
+/// evicted id can only re-surface as "gone" (was_evicted), never as an
+/// earlier state. capacity == 0 means unbounded (tests, batch runs).
 class TaskStatusTable {
  public:
+  explicit TaskStatusTable(std::size_t capacity = 0) : capacity_(capacity) {}
+
   /// Registers a new task, assigning the next external id.
   std::uint64_t insert(double submit_hours);
 
@@ -82,6 +96,13 @@ class TaskStatusTable {
 
   [[nodiscard]] std::optional<TaskStatus> get(std::uint64_t id) const;
 
+  /// True for ids this table once held and has since evicted (the GET
+  /// /task/<id> 410 path). False for live ids and never-issued ids.
+  [[nodiscard]] bool was_evicted(std::uint64_t id) const;
+
+  [[nodiscard]] std::size_t resident() const;
+  [[nodiscard]] std::uint64_t evicted_total() const;
+
   /// Point-in-time count of tasks in each state.
   struct Counts {
     std::uint64_t submitted = 0;
@@ -94,9 +115,16 @@ class TaskStatusTable {
   [[nodiscard]] Counts counts() const;
 
  private:
+  /// Records `id` as terminal and evicts past capacity. Caller holds
+  /// mutex_.
+  void note_terminal_locked(std::uint64_t id);
+
+  std::size_t capacity_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, TaskStatus> tasks_;
+  std::deque<std::uint64_t> terminal_fifo_;  // eviction order
   std::uint64_t next_id_ = kExternalIdBase;
+  std::uint64_t evicted_ = 0;
   Counts counts_;
 };
 
@@ -106,6 +134,8 @@ struct SubmitTicket {
   std::uint64_t id = 0;                // valid when accepted
   double retry_after_seconds = 0.0;    // valid when rejected
   std::size_t pressure = 0;            // inbox + queue depth at decision
+  std::uint64_t trace_id = 0;          // minted when accepted (always set)
+  bool trace_sampled = false;          // whether /trace/<id> will resolve
 };
 
 /// One accepted submission travelling from the inbox to the engine.
@@ -124,6 +154,16 @@ struct GatewayLinkConfig {
   double default_deadline_hours = 2.0;
   /// Retry-After never reports below this (seconds).
   double retry_after_floor_seconds = 1.0;
+  /// Status-table bound: terminal entries past this are evicted FIFO and
+  /// GET /task/<id> answers 410 for them. 0 = unbounded.
+  std::size_t status_capacity = 65536;
+
+  /// Task-lifecycle tracing (null store disables it entirely). Sampling
+  /// is deterministic in (task id, trace_salt, trace_sample_rate); the
+  /// engine recomputes the same decision for its side of the chain.
+  obs::TraceStore* traces = nullptr;
+  double trace_sample_rate = 0.0;
+  std::uint64_t trace_salt = 0;
 };
 
 /// Aggregate service state returned by GET /stats.
@@ -155,6 +195,12 @@ class GatewayLink {
 
   [[nodiscard]] std::optional<TaskStatus> status(std::uint64_t id) const {
     return table_.get(id);
+  }
+
+  /// Current simulated time as last hinted by the engine (timestamps the
+  /// gateway's SLO observations on the same clock the engine uses).
+  [[nodiscard]] double sim_time_hours() const noexcept {
+    return sim_time_hours_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] ServiceStats stats() const;

@@ -7,6 +7,7 @@
 
 #include "net/json.hpp"
 #include "obs/sinks.hpp"
+#include "support/stopwatch.hpp"
 
 namespace mfcp::net {
 namespace {
@@ -70,6 +71,8 @@ std::string read_int_field(const std::map<std::string, JsonValue>& fields,
 std::string_view route_label(const HttpRequest& request) {
   if (request.path == "/submit") return "/submit";
   if (request.path.rfind("/task/", 0) == 0) return "/task";
+  if (request.path.rfind("/trace/", 0) == 0) return "/trace";
+  if (request.path == "/alerts") return "/alerts";
   if (request.path == "/stats") return "/stats";
   if (request.path == "/metrics") return "/metrics";
   if (request.path == "/healthz") return "/healthz";
@@ -115,9 +118,15 @@ HttpResponse handle_submit(const HttpRequest& request,
             std::ceil(ticket.retry_after_seconds))));
     return r;
   }
-  return json_response(200, "{\"accepted\":true,\"id\":" +
-                                fmt_u64(ticket.id) + ",\"pressure\":" +
-                                fmt_u64(ticket.pressure) + "}\n");
+  const std::string trace_hex = obs::format_trace_id(ticket.trace_id);
+  HttpResponse r = json_response(
+      200, "{\"accepted\":true,\"id\":" + fmt_u64(ticket.id) +
+               ",\"pressure\":" + fmt_u64(ticket.pressure) +
+               ",\"trace_id\":" + json_quote(trace_hex) +
+               ",\"trace_sampled\":" +
+               (ticket.trace_sampled ? "true" : "false") + "}\n");
+  r.headers.emplace_back("X-Trace-Id", trace_hex);
+  return r;
 }
 
 HttpResponse handle_task(const HttpRequest& request,
@@ -128,9 +137,39 @@ HttpResponse handle_task(const HttpRequest& request,
   }
   const std::optional<engine::TaskStatus> status = link.status(*id);
   if (!status.has_value()) {
+    if (link.table().was_evicted(*id)) {
+      return error_json(410, "task status evicted (terminal, past cap)");
+    }
     return error_json(404, "unknown task id");
   }
   return json_response(200, task_status_json(*status));
+}
+
+HttpResponse handle_trace(const HttpRequest& request,
+                          obs::TraceStore* traces) {
+  if (traces == nullptr) {
+    return error_json(404, "tracing disabled");
+  }
+  constexpr std::string_view kPrefix = "/trace/";
+  const std::optional<std::uint64_t> trace_id =
+      obs::parse_trace_id(request.path.substr(kPrefix.size()));
+  if (!trace_id.has_value()) {
+    return error_json(400, "trace id must be 16 hex digits");
+  }
+  const std::optional<obs::TaskTrace> trace =
+      traces->find_by_trace(*trace_id);
+  if (!trace.has_value()) {
+    return error_json(404, "unknown trace id (unsampled or evicted)");
+  }
+  return json_response(200, task_trace_json(*trace));
+}
+
+HttpResponse handle_alerts(engine::GatewayLink& link, obs::SloMonitor* slo) {
+  if (slo == nullptr) {
+    return error_json(404, "slo monitor disabled");
+  }
+  const double now = link.sim_time_hours();
+  return json_response(200, slo_alerts_json(slo->evaluate(now), now));
 }
 
 }  // namespace
@@ -264,9 +303,64 @@ std::string service_stats_json(const engine::ServiceStats& s) {
   return out;
 }
 
+std::string task_trace_json(const obs::TaskTrace& trace) {
+  std::string out =
+      "{\"trace_id\":" + json_quote(obs::format_trace_id(trace.trace_id)) +
+      ",\"task_id\":" + fmt_u64(trace.task_id) +
+      ",\"submit_hours\":" + fmt_double(trace.submit_hours) +
+      ",\"state\":" +
+      json_quote(trace.finished() ? trace.final_state : "in_flight");
+  out += ",\"complete\":";
+  out += trace.finished() ? "true" : "false";
+  out += ",\"spans\":" + fmt_u64(trace.spans.size());
+  out += ",\"chain\":" + json_quote(trace.chain());
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const obs::TaskSpan& s = trace.spans[i];
+    const std::string p = ",\"s" + std::to_string(i) + "_";
+    out += p + "name\":" + json_quote(s.name);
+    out += p + "start_hours\":" + fmt_double(s.start_hours);
+    out += p + "end_hours\":" + fmt_double(s.end_hours);
+    if (s.duration_ns != 0) {
+      out += p + "duration_ns\":" + fmt_u64(s.duration_ns);
+    }
+    if (s.value != 0.0) {
+      out += p + "value\":" + fmt_double(s.value);
+    }
+    if (!s.detail.empty()) {
+      out += p + "detail\":" + json_quote(s.detail);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string slo_alerts_json(const std::vector<obs::SloState>& states,
+                            double now_hours) {
+  std::uint64_t firing = 0;
+  for (const obs::SloState& s : states) {
+    firing += s.firing ? 1 : 0;
+  }
+  std::string out = "{\"now_hours\":" + fmt_double(now_hours) +
+                    ",\"rules\":" + fmt_u64(states.size()) +
+                    ",\"firing_total\":" + fmt_u64(firing);
+  for (const obs::SloState& s : states) {
+    out += ",\"" + s.sli + "_value\":" + fmt_double(s.value);
+    out += ",\"" + s.sli + "_budget\":" + fmt_double(s.budget);
+    out += ",\"" + s.sli + "_fast_burn\":" + fmt_double(s.fast_burn);
+    out += ",\"" + s.sli + "_slow_burn\":" + fmt_double(s.slow_burn);
+    out += ",\"" + s.sli + "_firing\":";
+    out += s.firing ? "true" : "false";
+    out += ",\"" + s.sli + "_samples\":" + fmt_u64(s.samples);
+  }
+  out += "}\n";
+  return out;
+}
+
 HttpResponse route_gateway_request(const HttpRequest& request,
                                    engine::GatewayLink& link,
-                                   obs::MetricsRegistry* registry) {
+                                   obs::MetricsRegistry* registry,
+                                   obs::SloMonitor* slo,
+                                   obs::TraceStore* traces) {
   if (!request.valid) {
     return text_response(400, "bad request\n");
   }
@@ -285,6 +379,12 @@ HttpResponse route_gateway_request(const HttpRequest& request,
   }
   if (request.path.rfind("/task/", 0) == 0) {
     return handle_task(request, link);
+  }
+  if (request.path.rfind("/trace/", 0) == 0) {
+    return handle_trace(request, traces);
+  }
+  if (request.path == "/alerts") {
+    return handle_alerts(link, slo);
   }
   if (request.path == "/stats") {
     return json_response(200, service_stats_json(link.stats()));
@@ -307,10 +407,17 @@ HttpResponse route_gateway_request(const HttpRequest& request,
 PlatformGateway::PlatformGateway(engine::GatewayLink& link,
                                  obs::MetricsRegistry* registry,
                                  obs::TraceRing* trace, GatewayConfig config)
-    : link_(link), registry_(registry), trace_(trace) {
+    : link_(link),
+      registry_(registry),
+      trace_(trace),
+      slo_(config.slo),
+      traces_(config.traces) {
   if (registry_ != nullptr) {
     submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
                                             obs::default_time_bounds());
+    if (slo_ != nullptr) {
+      slo_->bind_metrics(registry_);
+    }
   }
   server_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return handle(request); },
@@ -322,10 +429,17 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
   const bool is_submit = request.valid && request.path == "/submit" &&
                          request.method == "POST";
   if (is_submit) {
+    const Stopwatch submit_watch;
     obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
-    response = route_gateway_request(request, link_, registry_);
+    response = route_gateway_request(request, link_, registry_, slo_,
+                                     traces_);
+    span.stop();
+    if (slo_ != nullptr) {
+      slo_->observe_submit(link_.sim_time_hours(), submit_watch.seconds());
+    }
   } else {
-    response = route_gateway_request(request, link_, registry_);
+    response = route_gateway_request(request, link_, registry_, slo_,
+                                     traces_);
   }
   if (registry_ != nullptr) {
     registry_

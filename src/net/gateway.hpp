@@ -2,10 +2,16 @@
 // serving OnlineEngine.
 //
 //   POST /submit     {"family":"cnn","depth":8,...}
-//                    -> 200 {"accepted":true,"id":...}      admitted
+//                    -> 200 {"accepted":true,"id":...,"trace_id":"<hex>",
+//                       "trace_sampled":...} + X-Trace-Id       admitted
 //                    -> 429 + Retry-After: <s>              backpressure
 //   GET  /task/<id>  -> 200 task lifecycle JSON (queued -> matched ->
-//                       dispatched, or expired/rejected), 404 unknown
+//                       dispatched, or expired/rejected), 404 unknown,
+//                       410 evicted from the bounded status table
+//   GET  /trace/<id> -> 200 flat JSON span chain of a sampled task
+//                       (16-hex trace id from /submit), 404 unknown /
+//                       unsampled, 404 when tracing is off
+//   GET  /alerts     -> 200 flat JSON burn-rate state of every SLO rule
 //   GET  /stats      -> 200 flat JSON: queue depth, round cadence,
 //                       cumulative regret, task-state counts
 //   GET  /metrics    -> 200 Prometheus exposition of the shared registry
@@ -33,7 +39,9 @@
 #include "net/http.hpp"
 #include "net/http_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_store.hpp"
 #include "sim/task.hpp"
 
 namespace mfcp::net {
@@ -58,15 +66,33 @@ struct SubmitParse {
 /// with parse_json_object).
 [[nodiscard]] std::string task_status_json(const engine::TaskStatus& status);
 [[nodiscard]] std::string service_stats_json(const engine::ServiceStats& s);
+/// GET /trace/<id> body: scalar fields (trace_id, task_id, state,
+/// complete, spans, chain) plus per-span sN_* fields. Wall durations are
+/// included here (diagnostic view) even though the JSONL export omits
+/// them.
+[[nodiscard]] std::string task_trace_json(const obs::TaskTrace& trace);
+/// GET /alerts body: <sli>_value/_budget/_fast_burn/_slow_burn/_firing/
+/// _samples per rule plus now_hours and firing_total.
+[[nodiscard]] std::string slo_alerts_json(
+    const std::vector<obs::SloState>& states, double now_hours);
 
 /// Maps one parsed request to its response — the socket-free core of the
-/// gateway. `registry` backs GET /metrics and may be null (404 then).
+/// gateway. `registry` backs GET /metrics and may be null (404 then);
+/// `slo` backs GET /alerts and `traces` GET /trace/<id>, both optional
+/// (404 when absent) so pre-existing call sites keep working unchanged.
 [[nodiscard]] HttpResponse route_gateway_request(
     const HttpRequest& request, engine::GatewayLink& link,
-    obs::MetricsRegistry* registry);
+    obs::MetricsRegistry* registry, obs::SloMonitor* slo = nullptr,
+    obs::TraceStore* traces = nullptr);
 
 struct GatewayConfig {
   HttpServerConfig http;
+  /// Burn-rate monitor behind GET /alerts; submit latencies are observed
+  /// into it per request. Borrowed, optional.
+  obs::SloMonitor* slo = nullptr;
+  /// Trace store behind GET /trace/<id>. Borrowed, optional; should be
+  /// the same store the GatewayLink and engine write to.
+  obs::TraceStore* traces = nullptr;
 };
 
 /// The running service: an HttpServer whose handler routes into `link`
@@ -100,6 +126,8 @@ class PlatformGateway {
   engine::GatewayLink& link_;
   obs::MetricsRegistry* registry_;
   obs::TraceRing* trace_;
+  obs::SloMonitor* slo_;
+  obs::TraceStore* traces_;
   obs::Histogram* submit_seconds_ = nullptr;
   std::unique_ptr<HttpServer> server_;
 };

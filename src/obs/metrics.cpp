@@ -61,6 +61,40 @@ void Histogram::observe(double v) noexcept {
   }
 }
 
+void Histogram::rebucket(std::span<const double> upper_bounds) {
+  MFCP_CHECK(!upper_bounds.empty(), "histogram needs at least one bucket bound");
+  MFCP_CHECK(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+                 std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                     upper_bounds.end(),
+             "histogram bounds must be strictly increasing");
+  const std::vector<std::uint64_t> old_counts = bucket_counts();
+  const std::vector<double> old_bounds = std::move(bounds_);
+  const double total_sum = sum();
+
+  bounds_.assign(upper_bounds.begin(), upper_bounds.end());
+  std::vector<std::uint64_t> folded(bounds_.size() + 1, 0);
+  for (std::size_t b = 0; b < old_counts.size(); ++b) {
+    std::size_t target = bounds_.size();  // overflow by default
+    if (b < old_bounds.size()) {
+      // Conservative fold: values in this bucket were <= old_bounds[b], so
+      // the first new bound >= old_bounds[b] still upper-bounds them.
+      const auto it =
+          std::lower_bound(bounds_.begin(), bounds_.end(), old_bounds[b]);
+      target = static_cast<std::size_t>(it - bounds_.begin());
+    }
+    folded[target] += old_counts[b];
+  }
+
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < folded.size(); ++b) {
+    shards_[0].buckets[b].store(folded[b], std::memory_order_relaxed);
+  }
+  shards_[0].sum.store(total_sum, std::memory_order_relaxed);
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
   for (const Shard& s : shards_) {
@@ -182,6 +216,12 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                "histogram re-registered with different bucket bounds");
   }
   return *it->second;
+}
+
+Histogram* MetricsRegistry::find_histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {

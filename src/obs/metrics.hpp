@@ -88,6 +88,17 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// Replaces the bucket layout at runtime, folding existing counts in
+  /// conservatively: a count recorded under old upper bound `b` lands in
+  /// the first new bucket whose bound is >= `b` (its true value was <= b,
+  /// so the new bucket never under-reports it; the quantile estimate can
+  /// only widen, never shrink below truth). Counts above every new bound
+  /// — including the old +Inf overflow — fold into the new overflow
+  /// bucket. Total count and sum are preserved. NOT safe against
+  /// concurrent observe(): call during startup/reconfiguration, before
+  /// traffic reaches the histogram.
+  void rebucket(std::span<const double> upper_bounds);
+
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
   }
@@ -140,6 +151,10 @@ class MetricsRegistry {
   /// `bounds` is used on first registration; later calls with the same
   /// name must pass identical bounds (checked).
   Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Lookup without registration (e.g. to rebucket an already-registered
+  /// histogram). Null when the name is unknown.
+  [[nodiscard]] Histogram* find_histogram(std::string_view name);
 
   [[nodiscard]] RegistrySnapshot snapshot() const;
 

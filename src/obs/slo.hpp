@@ -1,0 +1,150 @@
+// SLO monitor: rolling-window service-level indicators over the platform's
+// existing telemetry, evaluated by multi-window burn-rate rules.
+//
+// Four SLIs, all on the simulated clock so evaluation is deterministic for
+// seeded runs and meaningful in serve mode (where sim time tracks wall
+// time through `sim_hours_per_second`):
+//
+//   submit_latency   — fraction of gateway submits slower than the target
+//                      (wall seconds per request; the *decision* which
+//                      side of the target a request fell on is what enters
+//                      the window, not the raw latency).
+//   dispatch_success — fraction of dispatched tasks whose first execution
+//                      attempt failed.
+//   expiry           — fraction of admitted tasks that expired in queue
+//                      instead of reaching a batch.
+//   regret_gap       — mean per-round attribution total (PR 3 terms)
+//                      against an absolute per-task budget, in makespan
+//                      units.
+//
+// Burn rate follows the SRE convention: burn = (bad fraction) / (error
+// budget), so burn == 1.0 means "consuming budget exactly at the rate
+// that exhausts it over the SLO period" and an *empty window burns
+// nothing* (burn 0, not NaN — no traffic is not an outage). A rule fires
+// only when BOTH the fast window (default 5 sim-minutes) and the slow
+// window (default 1 sim-hour) exceed the threshold: the fast window gives
+// detection latency, the slow window keeps a brief spike from paging.
+//
+// Exposed as mfcp_slo_* gauge families (value/budget/burn_rate/firing),
+// the gateway's GET /alerts route, and end-of-run summary tables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mfcp::obs {
+
+struct SloConfig {
+  double fast_window_hours = 5.0 / 60.0;  // 5 simulated minutes
+  double slow_window_hours = 1.0;         // 1 simulated hour
+  /// Both windows must burn above this to fire (1.0 = exactly on budget).
+  double burn_threshold = 2.0;
+
+  /// Submit-latency SLI: a request is "bad" when slower than this.
+  double submit_latency_target_seconds = 0.050;
+  /// Objective: this fraction of submits must beat the target
+  /// (error budget = 1 - objective).
+  double submit_latency_objective = 0.99;
+
+  /// Objective on first-attempt dispatch success.
+  double dispatch_success_objective = 0.90;
+
+  /// Objective on admitted tasks reaching a batch before their deadline.
+  double expiry_objective = 0.95;
+
+  /// Absolute budget on the mean per-round regret-attribution total
+  /// (per-task makespan units). Burn = mean / budget.
+  double regret_gap_budget = 0.5;
+};
+
+/// One SLI's evaluated state.
+struct SloState {
+  std::string sli;
+  double value = 0.0;      // slow-window bad fraction (or mean gap)
+  double budget = 0.0;     // error budget (or gap budget)
+  double fast_burn = 0.0;  // burn rate over the fast window
+  double slow_burn = 0.0;  // burn rate over the slow window
+  bool firing = false;
+  std::uint64_t samples = 0;  // events inside the slow window
+};
+
+/// Thread-safe rolling-window SLO evaluator; see file comment. Feed it
+/// from the gateway (observe_submit) and the engine round loop
+/// (observe_round), then evaluate() after each round / on each /alerts
+/// request. All observation methods are cheap (deque push under a mutex).
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config = {});
+
+  /// Registers the mfcp_slo_* gauges; null detaches (evaluate() still
+  /// returns states, it just stops exporting them).
+  void bind_metrics(MetricsRegistry* registry);
+
+  /// One gateway submit: wall latency of the request at sim time `now`.
+  void observe_submit(double now_hours, double seconds);
+
+  /// One engine round at sim time `now`: batch size, first-attempt
+  /// successes, tasks expired since the previous round, and the round's
+  /// regret-gap total (ignored unless `gap_valid`).
+  void observe_round(double now_hours, std::uint64_t batch_size,
+                     std::uint64_t dispatch_ok, std::uint64_t expired,
+                     double regret_gap, bool gap_valid);
+
+  /// Prunes both windows to `now`, computes burn rates, updates the
+  /// gauges, and returns the per-SLI states (fixed order: submit_latency,
+  /// dispatch_success, expiry, regret_gap).
+  std::vector<SloState> evaluate(double now_hours);
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+
+ private:
+  // One windowed event batch: `bad` out of `total` events (ratio SLIs) or
+  // `value` with weight `total` (the regret-gap SLI).
+  struct Sample {
+    double t = 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+    double value = 0.0;
+  };
+  struct Series {
+    std::deque<Sample> samples;
+    Gauge* value_gauge = nullptr;
+    Gauge* budget_gauge = nullptr;
+    Gauge* fast_gauge = nullptr;
+    Gauge* slow_gauge = nullptr;
+    Gauge* firing_gauge = nullptr;
+  };
+
+  void prune_locked(Series& series, double now_hours);
+  SloState evaluate_ratio_locked(Series& series, const char* name,
+                                 double budget, double now_hours);
+  SloState evaluate_mean_locked(Series& series, const char* name,
+                                double budget, double now_hours);
+
+  SloConfig config_;
+  mutable std::mutex mutex_;
+  Series submit_;
+  Series dispatch_;
+  Series expiry_;
+  Series regret_;
+};
+
+/// Fixed-width end-of-run table over evaluate()'s result (bench/example
+/// summaries). One line per SLI plus a header.
+[[nodiscard]] std::string slo_summary_table(const std::vector<SloState>& states);
+
+/// Re-buckets the named latency histogram around `target_seconds` so
+/// quantile estimates near the SLO target interpolate inside fine buckets
+/// instead of a decade-wide default bucket. No-op (returns false) when the
+/// histogram does not exist yet. Call at startup, after every component
+/// that registers the histogram has done so and before traffic arrives —
+/// rebucketing is not atomic against concurrent observes.
+bool tighten_latency_buckets(MetricsRegistry& registry, std::string_view name,
+                             double target_seconds);
+
+}  // namespace mfcp::obs

@@ -533,6 +533,101 @@ TEST(Engine, JournalLabelTagsTheRun) {
   EXPECT_EQ(out.str().rfind("{\"mode\":\"frozen\",\"round\":3,", 0), 0u);
 }
 
+// ---------------------------------------------------------- task traces --
+
+TEST(Engine, TaskTracesAreByteIdenticalAcrossSeededRuns) {
+  const auto traced_run = [] {
+    EngineFixture f;
+    obs::TraceStore traces(4096);
+    EngineConfig cfg = small_engine_config();
+    cfg.task_traces = &traces;
+    cfg.trace_sample_rate = 0.5;
+    OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+    eng.run();
+    std::ostringstream out;
+    obs::JsonlWriter writer(out);
+    traces.drain_to(writer);
+    return out.str();
+  };
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  ASSERT_FALSE(first.empty());  // rate 0.5 must catch some of 60 tasks
+  EXPECT_EQ(first, second);
+}
+
+TEST(Engine, JournalIsByteIdenticalWithTracingOnOrOff) {
+  const auto journal_run = [](double rate) {
+    EngineFixture f;
+    std::ostringstream out;
+    obs::JsonlWriter journal(out);
+    obs::TraceStore traces(4096);
+    EngineConfig cfg = small_engine_config();
+    cfg.journal = &journal;
+    if (rate > 0.0) {
+      cfg.task_traces = &traces;
+      cfg.trace_sample_rate = rate;
+    }
+    OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+    eng.run();
+    return out.str();
+  };
+  // The sampling decision is a pure hash, never an RNG draw: turning
+  // tracing fully on must not move a single journal byte.
+  EXPECT_EQ(journal_run(0.0), journal_run(1.0));
+}
+
+TEST(Engine, DispatchedTraceHasTheCompleteSpanChain) {
+  EngineFixture f;
+  obs::TraceStore traces(4096);
+  EngineConfig cfg = small_engine_config();
+  cfg.task_traces = &traces;
+  cfg.trace_sample_rate = 1.0;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+  ASSERT_GT(result.queue.dispatched, 0u);
+
+  std::size_t dispatched_traces = 0;
+  for (const auto& trace : traces.snapshot()) {
+    ASSERT_TRUE(trace.finished());  // run() drains the queue before exit
+    if (trace.final_state == "dispatched") {
+      ++dispatched_traces;
+      EXPECT_EQ(trace.chain(),
+                "submit>queue_wait>batch>predict>match>dispatch>feedback");
+      // Sim-time endpoints are ordered within every span.
+      for (const auto& span : trace.spans) {
+        EXPECT_LE(span.start_hours, span.end_hours) << span.name;
+      }
+    } else {
+      // Lost tasks end on a terminal span naming the loss.
+      ASSERT_FALSE(trace.spans.empty());
+      EXPECT_EQ(trace.spans.back().name, trace.final_state);
+    }
+  }
+  // Rate 1.0: every dispatched task must carry a full chain.
+  EXPECT_EQ(dispatched_traces, result.queue.dispatched);
+}
+
+TEST(Engine, SloMonitorSeesRoundsAndExports) {
+  EngineFixture f;
+  obs::MetricsRegistry registry;
+  obs::SloMonitor slo;
+  EngineConfig cfg = small_engine_config();
+  cfg.registry = &registry;
+  cfg.slo = &slo;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+  ASSERT_GT(result.rounds.size(), 0u);
+
+  const auto states = slo.evaluate(result.rounds.back().close_hours);
+  ASSERT_EQ(states.size(), 4u);
+  // Dispatch events from the final rounds are inside the slow window.
+  EXPECT_GT(states[1].samples, 0u);
+  // The engine bound the monitor to its registry: gauges exist.
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("mfcp_slo_firing{sli=\"dispatch_success\"}"),
+            std::string::npos);
+}
+
 TEST(Engine, AttributionIsExactAndTiesOutToRoundRegret) {
   EngineFixture f;
   obs::MetricsRegistry registry;

@@ -304,6 +304,135 @@ TEST(GatewayRoute, MetricsAndHealthRideTheSameRouter) {
       404);
 }
 
+// ---------------------------------------------- tracing + slo routes --
+
+TEST(GatewayRoute, SubmitMintsTraceAndTraceRouteServesIt) {
+  obs::TraceStore traces(64);
+  engine::GatewayLinkConfig cfg;
+  cfg.traces = &traces;
+  cfg.trace_sample_rate = 1.0;
+  engine::GatewayLink link(cfg);
+
+  const HttpResponse submit = route_gateway_request(
+      make_request("POST", "/submit", "{\"family\":\"cnn\"}"), link, nullptr,
+      nullptr, &traces);
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  const std::string trace_hex = body_str(submit.body, "trace_id");
+  EXPECT_EQ(trace_hex.size(), 16u);
+  // The same id rides the X-Trace-Id response header.
+  bool header_matches = false;
+  for (const auto& [name, value] : submit.headers) {
+    if (name == "X-Trace-Id") {
+      header_matches = value == trace_hex;
+    }
+  }
+  EXPECT_TRUE(header_matches);
+
+  const HttpResponse trace = route_gateway_request(
+      make_request("GET", "/trace/" + trace_hex), link, nullptr, nullptr,
+      &traces);
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  EXPECT_EQ(body_str(trace.body, "trace_id"), trace_hex);
+  EXPECT_EQ(body_str(trace.body, "state"), "in_flight");
+  EXPECT_EQ(body_str(trace.body, "chain"), "submit");
+  EXPECT_EQ(body_u64(trace.body, "spans"), 1u);
+  EXPECT_EQ(body_str(trace.body, "s0_name"), "submit");
+}
+
+TEST(GatewayRoute, TraceRouteErrorStates) {
+  obs::TraceStore traces(64);
+  engine::GatewayLink link;  // sampling off: nothing is ever recorded
+  // Malformed id -> 400.
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/trace/xyz"), link,
+                                  nullptr, nullptr, &traces)
+                .status,
+            400);
+  // Well-formed but unknown -> 404.
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/trace/00000000000000ff"), link,
+                nullptr, nullptr, &traces)
+                .status,
+            404);
+  // Tracing disabled entirely -> 404 as well, not a crash.
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/trace/00000000000000ff"), link,
+                nullptr, nullptr, nullptr)
+                .status,
+            404);
+  // An unsampled submit still mints an id, but /trace cannot resolve it.
+  const HttpResponse submit = route_gateway_request(
+      make_request("POST", "/submit", "{\"family\":\"mlp\"}"), link, nullptr,
+      nullptr, &traces);
+  ASSERT_EQ(submit.status, 200);
+  EXPECT_EQ(body_str(submit.body, "trace_id").size(), 16u);
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET",
+                             "/trace/" + body_str(submit.body, "trace_id")),
+                link, nullptr, nullptr, &traces)
+                .status,
+            404);
+}
+
+TEST(GatewayRoute, AlertsRouteReportsSloState) {
+  engine::GatewayLink link;
+  // No monitor wired -> absent, like /metrics without a registry.
+  EXPECT_EQ(
+      route_gateway_request(make_request("GET", "/alerts"), link, nullptr)
+          .status,
+      404);
+  obs::SloMonitor slo;
+  slo.observe_submit(0.0, 1.0);  // one slow submit
+  const HttpResponse alerts = route_gateway_request(
+      make_request("GET", "/alerts"), link, nullptr, &slo, nullptr);
+  ASSERT_EQ(alerts.status, 200) << alerts.body;
+  EXPECT_EQ(body_u64(alerts.body, "rules"), 4u);
+  const auto obj = parse_json_object(alerts.body);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_TRUE(obj->count("submit_latency_value"));
+  EXPECT_TRUE(obj->count("submit_latency_fast_burn"));
+  EXPECT_TRUE(obj->count("dispatch_success_budget"));
+  EXPECT_TRUE(obj->count("expiry_firing"));
+  EXPECT_TRUE(obj->count("regret_gap_slow_burn"));
+  EXPECT_TRUE(obj->count("firing_total"));
+}
+
+TEST(GatewayRoute, EvictedTaskStatusAnswers410) {
+  engine::GatewayLinkConfig cfg;
+  cfg.status_capacity = 2;
+  engine::GatewayLink link(cfg);
+  std::vector<std::uint64_t> ids;
+  for (int k = 0; k < 3; ++k) {
+    const HttpResponse r = route_gateway_request(
+        make_request("POST", "/submit", "{\"family\":\"cnn\"}"), link,
+        nullptr);
+    ASSERT_EQ(r.status, 200);
+    ids.push_back(body_u64(r.body, "id"));
+  }
+  // Terminal transitions drive FIFO eviction once past the cap; live
+  // tasks are never evicted. Transitions are forward-only, so walk each
+  // task through matched first.
+  for (const std::uint64_t id : ids) {
+    link.table().mark_matched(id, 0, "c0", 1.0, 0);
+    link.table().mark_dispatched(id, 1.0, true);
+  }
+  EXPECT_EQ(link.table().evicted_total(), 1u);
+  EXPECT_EQ(link.table().resident(), 2u);
+  const HttpResponse gone = route_gateway_request(
+      make_request("GET", "/task/" + std::to_string(ids[0])), link, nullptr);
+  EXPECT_EQ(gone.status, 410) << gone.body;
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/task/" + std::to_string(ids[2])),
+                link, nullptr)
+                .status,
+            200);
+  // A never-issued id stays 404 — 410 is reserved for ids we once held.
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/task/" + std::to_string(ids[2] + 100)),
+                link, nullptr)
+                .status,
+            404);
+}
+
 // ------------------------------------------------------- live sockets --
 
 TEST(HttpServerLive, ServesConcurrentClients) {

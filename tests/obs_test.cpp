@@ -19,7 +19,9 @@
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_store.hpp"
 
 namespace mfcp::obs {
 namespace {
@@ -463,6 +465,340 @@ TEST(Prometheus, QuantileGaugesFollowHistogramsWithoutInterleaving) {
   EXPECT_EQ(text.find("# TYPE lat_quantile gauge", header + 1),
             std::string::npos);
   EXPECT_GT(header, text.rfind("_bucket"));
+}
+
+// -------------------------------------------------------- trace ids --
+
+TEST(TraceId, MintIsDeterministicAndNeverZero) {
+  EXPECT_EQ(mint_trace_id(7, 0xabc), mint_trace_id(7, 0xabc));
+  EXPECT_NE(mint_trace_id(7, 0xabc), mint_trace_id(8, 0xabc));
+  EXPECT_NE(mint_trace_id(7, 0xabc), mint_trace_id(7, 0xabd));
+  // The zero input must still mint a usable (nonzero) id.
+  EXPECT_NE(mint_trace_id(0, 0), 0u);
+}
+
+TEST(TraceId, FormatParsesBackAndRejectsMalformed) {
+  const std::uint64_t id = mint_trace_id(42, 1);
+  const std::string hex = format_trace_id(id);
+  EXPECT_EQ(hex.size(), 16u);
+  ASSERT_TRUE(parse_trace_id(hex).has_value());
+  EXPECT_EQ(*parse_trace_id(hex), id);
+  EXPECT_FALSE(parse_trace_id("").has_value());
+  EXPECT_FALSE(parse_trace_id("12345").has_value());            // short
+  EXPECT_FALSE(parse_trace_id("zz345678zz345678").has_value()); // non-hex
+  EXPECT_FALSE(parse_trace_id("0000000000000000").has_value()); // sentinel
+}
+
+TEST(TraceId, SamplingEdgesAndDeterminism) {
+  for (std::uint64_t task = 0; task < 64; ++task) {
+    const std::uint64_t id = mint_trace_id(task, 0x5a17);
+    EXPECT_TRUE(trace_sampled(id, 1.0));
+    EXPECT_TRUE(trace_sampled(id, 2.0));   // clamps above 1
+    EXPECT_FALSE(trace_sampled(id, 0.0));
+    EXPECT_FALSE(trace_sampled(id, -0.5)); // clamps below 0
+    // The decision is a pure function: recomputing never flips it.
+    EXPECT_EQ(trace_sampled(id, 0.5), trace_sampled(id, 0.5));
+  }
+  // At rate 0.5 some tasks sample and some do not (the hash spreads).
+  std::size_t sampled = 0;
+  for (std::uint64_t task = 0; task < 256; ++task) {
+    sampled += trace_sampled(mint_trace_id(task, 0x5a17), 0.5) ? 1 : 0;
+  }
+  EXPECT_GT(sampled, 0u);
+  EXPECT_LT(sampled, 256u);
+}
+
+TEST(TraceContext, UnsampledContextIsTheZeroSentinel) {
+  const TraceContext on = make_trace_context(3, 0x5a17, 1.0);
+  EXPECT_TRUE(on.sampled());
+  EXPECT_EQ(on.trace_id, mint_trace_id(3, 0x5a17));
+  const TraceContext off = make_trace_context(3, 0x5a17, 0.0);
+  EXPECT_FALSE(off.sampled());
+  EXPECT_EQ(off.trace_id, 0u);
+}
+
+// -------------------------------------------------------- trace store --
+
+TaskSpan span_named(const char* name, double t) {
+  TaskSpan s;
+  s.name = name;
+  s.start_hours = t;
+  s.end_hours = t;
+  return s;
+}
+
+TEST(TraceStore, BeginAppendFinishAndLookups) {
+  TraceStore store(8);
+  const std::uint64_t trace_id = mint_trace_id(11, 0);
+  EXPECT_TRUE(store.begin(11, trace_id, 0.5));
+  EXPECT_FALSE(store.begin(11, trace_id, 0.6));  // idempotent for live ids
+  EXPECT_TRUE(store.append(11, span_named("submit", 0.5)));
+  EXPECT_TRUE(store.append(11, span_named("queue_wait", 0.7)));
+  // Untraced task: every call is a quiet no-op.
+  EXPECT_FALSE(store.append(99, span_named("submit", 0.0)));
+  EXPECT_FALSE(store.finish(99, "dispatched"));
+
+  const auto by_trace = store.find_by_trace(trace_id);
+  ASSERT_TRUE(by_trace.has_value());
+  EXPECT_EQ(by_trace->task_id, 11u);
+  EXPECT_FALSE(by_trace->finished());
+  EXPECT_EQ(by_trace->chain(), "submit>queue_wait");
+
+  EXPECT_TRUE(store.finish(11, "dispatched"));
+  const auto by_task = store.find_by_task(11);
+  ASSERT_TRUE(by_task.has_value());
+  EXPECT_EQ(by_task->final_state, "dispatched");
+  EXPECT_TRUE(by_task->finished());
+}
+
+TEST(TraceStore, EvictionPrefersOldestFinishedTrace) {
+  TraceStore store(2);
+  store.begin(1, mint_trace_id(1, 0), 0.0);  // stays in flight
+  store.begin(2, mint_trace_id(2, 0), 1.0);
+  store.finish(2, "dispatched");
+  // Full. The next begin must evict task 2 (oldest *finished*), keeping
+  // the older but still-live task 1.
+  store.begin(3, mint_trace_id(3, 0), 2.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.find_by_task(1).has_value());
+  EXPECT_FALSE(store.find_by_task(2).has_value());
+  EXPECT_TRUE(store.find_by_task(3).has_value());
+  // Nothing finished: eviction falls back to the oldest outright.
+  store.begin(4, mint_trace_id(4, 0), 3.0);
+  EXPECT_FALSE(store.find_by_task(1).has_value());
+  EXPECT_TRUE(store.find_by_task(3).has_value());
+  EXPECT_TRUE(store.find_by_task(4).has_value());
+  EXPECT_EQ(store.evicted(), 2u);
+  EXPECT_EQ(store.begun(), 4u);
+}
+
+TEST(TraceStore, SurvivesChurnFarPastCapacity) {
+  TraceStore store(16);
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    store.begin(id, mint_trace_id(id, 7), static_cast<double>(id));
+    store.append(id, span_named("submit", static_cast<double>(id)));
+    if (id % 2 == 0) {
+      store.finish(id, "dispatched");
+    }
+  }
+  EXPECT_EQ(store.size(), 16u);
+  EXPECT_EQ(store.begun(), 500u);
+  EXPECT_EQ(store.evicted(), 500u - 16u);
+  // The newest trace is always queryable after churn.
+  EXPECT_TRUE(store.find_by_task(499).has_value());
+}
+
+TEST(TraceStore, DrainWritesDeterministicFieldsAndClears) {
+  TraceStore store(8);
+  store.begin(5, mint_trace_id(5, 0), 0.25);
+  TaskSpan s = span_named("submit", 0.25);
+  s.duration_ns = 12345;  // wall clock: must NOT reach the JSONL
+  s.value = 1.5;
+  s.detail = "gpu-a";
+  store.append(5, s);
+  store.finish(5, "dispatched");
+  store.begin(6, mint_trace_id(6, 0), 0.5);  // drained while in flight
+
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  EXPECT_EQ(store.drain_to(writer, "online"), 2u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.begun(), 2u);  // lifetime counters survive the drain
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"mode\":\"online\""), std::string::npos);
+  EXPECT_NE(text.find("\"trace_id\":\"" + format_trace_id(
+                          mint_trace_id(5, 0)) + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"state\":\"dispatched\""), std::string::npos);
+  EXPECT_NE(text.find("\"state\":\"in_flight\""), std::string::npos);
+  EXPECT_NE(text.find("\"s0_value\":"), std::string::npos);
+  EXPECT_NE(text.find("\"s0_detail\":\"gpu-a\""), std::string::npos);
+  EXPECT_EQ(text.find("duration"), std::string::npos);
+  // A second drain has nothing left.
+  EXPECT_EQ(store.drain_to(writer), 0u);
+}
+
+// ----------------------------------------------------------- rebucket --
+
+TEST(Histogram, RebucketFoldsCountsConservatively) {
+  MetricsRegistry registry;
+  constexpr double kOld[] = {1.0, 2.0, 4.0};
+  Histogram& hist = registry.histogram("fold", kOld);
+  hist.observe(0.5);   // le 1
+  hist.observe(1.5);   // le 2
+  hist.observe(3.0);   // le 4
+  hist.observe(10.0);  // overflow
+
+  constexpr double kNew[] = {2.0, 8.0};
+  hist.rebucket(kNew);
+
+  // Old bound 1 and 2 fold into le=2; bound 4 folds up into le=8 (the
+  // first new bound that still upper-bounds it); overflow stays overflow.
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.5 + 3.0 + 10.0);
+  // New observations land on the new grid.
+  hist.observe(5.0);
+  EXPECT_EQ(hist.bucket_counts()[1], 2u);
+}
+
+TEST(Histogram, RebucketWithNoCoveringBoundGoesToOverflow) {
+  MetricsRegistry registry;
+  constexpr double kOld[] = {1.0, 2.0};
+  Histogram& hist = registry.histogram("fold_overflow", kOld);
+  hist.observe(0.5);
+  hist.observe(1.5);
+
+  // No new bound covers the old ones: the conservative target is the
+  // overflow bucket (the fold may never under-report a bound).
+  constexpr double kNew[] = {0.25};
+  hist.rebucket(kNew);
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], 0u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(hist.count(), 2u);
+}
+
+TEST(MetricsRegistry, FindHistogramReturnsNullForUnknownNames) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+  constexpr double kBounds[] = {1.0};
+  Histogram& hist = registry.histogram("known", kBounds);
+  EXPECT_EQ(registry.find_histogram("known"), &hist);
+}
+
+TEST(TightenLatencyBuckets, RescalesAroundTheTarget) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(tighten_latency_buckets(registry, "absent", 0.05));
+  constexpr double kBounds[] = {1.0, 10.0};
+  Histogram& hist = registry.histogram("mfcp_gw_submit", kBounds);
+  EXPECT_TRUE(tighten_latency_buckets(registry, "mfcp_gw_submit", 0.05));
+  // The new grid brackets the target with sub-target resolution.
+  hist.observe(0.049);
+  hist.observe(0.051);
+  const auto buckets = hist.bucket_counts();
+  ASSERT_GT(buckets.size(), 4u);
+  // The two observations straddle the target boundary: they must not land
+  // in the same bucket.
+  std::size_t nonzero = 0;
+  for (const auto b : buckets) {
+    nonzero += b > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nonzero, 2u);
+}
+
+// -------------------------------------------------------- slo monitor --
+
+TEST(SloMonitor, EmptyWindowsBurnNothing) {
+  SloMonitor monitor;
+  const auto states = monitor.evaluate(0.0);
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0].sli, "submit_latency");
+  EXPECT_EQ(states[1].sli, "dispatch_success");
+  EXPECT_EQ(states[2].sli, "expiry");
+  EXPECT_EQ(states[3].sli, "regret_gap");
+  for (const auto& s : states) {
+    EXPECT_EQ(s.fast_burn, 0.0) << s.sli;
+    EXPECT_EQ(s.slow_burn, 0.0) << s.sli;
+    EXPECT_FALSE(s.firing) << s.sli;
+    EXPECT_EQ(s.samples, 0u) << s.sli;
+  }
+}
+
+TEST(SloMonitor, ExactlyAtBudgetBurnsAtExactlyOne) {
+  SloConfig cfg;
+  // A dyadic budget so "bad fraction == budget" is exact in doubles.
+  cfg.submit_latency_objective = 0.875;  // error budget = 0.125
+  SloMonitor monitor(cfg);
+  for (int i = 0; i < 8; ++i) {
+    // 1 of 8 submits over the 50 ms target: bad fraction == budget.
+    monitor.observe_submit(0.0, i == 0 ? 1.0 : 0.001);
+  }
+  const auto states = monitor.evaluate(0.0);
+  EXPECT_EQ(states[0].fast_burn, 1.0);
+  EXPECT_EQ(states[0].slow_burn, 1.0);
+  EXPECT_FALSE(states[0].firing);  // threshold is 2.0
+  EXPECT_EQ(states[0].samples, 8u);
+}
+
+TEST(SloMonitor, FiresOnlyWhenBothWindowsBurn) {
+  SloMonitor monitor;  // dispatch error budget = 0.10, threshold 2.0
+  // Lots of healthy traffic early in the slow window...
+  monitor.observe_round(1.2, 100, 100, 0, 0.0, false);
+  // ...then a total outage inside the fast window (last 5 sim-minutes).
+  monitor.observe_round(1.95, 10, 0, 0, 0.0, false);
+  auto states = monitor.evaluate(2.0);
+  EXPECT_GT(states[1].fast_burn, 2.0);
+  EXPECT_LT(states[1].slow_burn, 2.0);  // 10/110 bad = burn 0.91
+  EXPECT_FALSE(states[1].firing) << "a brief spike must not page";
+
+  // More failures mid-window push the slow burn over too: now it fires.
+  monitor.observe_round(1.5, 20, 0, 0, 0.0, false);
+  states = monitor.evaluate(2.0);
+  EXPECT_GT(states[1].fast_burn, 2.0);
+  EXPECT_GT(states[1].slow_burn, 2.0);
+  EXPECT_TRUE(states[1].firing);
+
+  // Once the outage ages out of both windows the rule clears.
+  states = monitor.evaluate(4.0);
+  EXPECT_FALSE(states[1].firing);
+  EXPECT_EQ(states[1].samples, 0u);
+}
+
+TEST(SloMonitor, ExpiryAndRegretSlisObserveRounds) {
+  SloMonitor monitor;
+  // 5 expiries against 15 admitted (10 batched + 5 expired) = 1/3 bad,
+  // budget 0.05 -> burn ~6.7 in both windows.
+  monitor.observe_round(0.01, 10, 10, 5, 0.0, false);
+  // Regret gap: mean 1.0 against budget 0.5 -> burn 2.0 exactly (not >).
+  monitor.observe_round(0.02, 10, 10, 0, 1.0, true);
+  const auto states = monitor.evaluate(0.05);
+  EXPECT_GT(states[2].fast_burn, 2.0);
+  EXPECT_TRUE(states[2].firing);
+  EXPECT_DOUBLE_EQ(states[3].fast_burn, 2.0);
+  EXPECT_FALSE(states[3].firing);  // strict threshold: 2.0 is not > 2.0
+  // A negative gap (matcher beat the hindsight bound) must not burn.
+  SloMonitor negative;
+  negative.observe_round(0.01, 10, 10, 0, -1.0, true);
+  EXPECT_EQ(negative.evaluate(0.05)[3].fast_burn, 0.0);
+}
+
+TEST(SloMonitor, ExportsGaugeFamiliesWithSliLabels) {
+  MetricsRegistry registry;
+  SloMonitor monitor;
+  monitor.bind_metrics(&registry);
+  monitor.observe_submit(0.0, 1.0);  // one bad submit
+  monitor.evaluate(0.0);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("mfcp_slo_value{sli=\"submit_latency\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mfcp_slo_budget{sli=\"dispatch_success\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "mfcp_slo_burn_rate{sli=\"expiry\",window=\"fast\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "mfcp_slo_burn_rate{sli=\"regret_gap\",window=\"slow\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mfcp_slo_firing{sli=\"submit_latency\"}"),
+            std::string::npos);
+}
+
+TEST(SloSummaryTable, RendersOneRowPerSli) {
+  SloMonitor monitor;
+  monitor.observe_round(0.0, 10, 10, 0, 0.0, false);
+  const std::string table = slo_summary_table(monitor.evaluate(0.0));
+  EXPECT_NE(table.find("submit_latency"), std::string::npos);
+  EXPECT_NE(table.find("dispatch_success"), std::string::npos);
+  EXPECT_NE(table.find("expiry"), std::string::npos);
+  EXPECT_NE(table.find("regret_gap"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 5);  // header + 4
 }
 
 // ------------------------------------------------------- http exporter --

@@ -54,6 +54,14 @@ struct Options {
   std::uint64_t seed = 0x10adULL;
 };
 
+/// One accepted submit, kept so the report can attribute its slowest
+/// requests to a specific task trace (GET /trace/<trace_id>).
+struct AcceptedSample {
+  double ms = 0.0;
+  std::uint64_t id = 0;
+  std::string trace_id;  // 16-hex from the submit response
+};
+
 struct WorkerStats {
   std::uint64_t requests = 0;
   std::uint64_t accepted = 0;
@@ -62,6 +70,7 @@ struct WorkerStats {
   std::uint64_t transport_errors = 0;
   std::vector<double> latencies_ms;
   std::vector<std::uint64_t> accepted_ids;
+  std::vector<AcceptedSample> accepted_samples;
 };
 
 std::string random_task_body(mfcp::Rng& rng) {
@@ -129,8 +138,17 @@ void submit_loop(const Options& opt, Clock::time_point t0,
         const auto it = fields->find("id");
         if (it != fields->end() &&
             it->second.kind == mfcp::net::JsonValue::Kind::kNumber) {
-          stats.accepted_ids.push_back(
-              static_cast<std::uint64_t>(it->second.num));
+          const auto id = static_cast<std::uint64_t>(it->second.num);
+          stats.accepted_ids.push_back(id);
+          AcceptedSample sample;
+          sample.ms = ms;
+          sample.id = id;
+          const auto trace = fields->find("trace_id");
+          if (trace != fields->end() &&
+              trace->second.kind == mfcp::net::JsonValue::Kind::kString) {
+            sample.trace_id = trace->second.str;
+          }
+          stats.accepted_samples.push_back(std::move(sample));
         }
       }
     } else if (r.status == 429) {
@@ -242,6 +260,9 @@ int main(int argc, char** argv) {
                               w.latencies_ms.begin(), w.latencies_ms.end());
     total.accepted_ids.insert(total.accepted_ids.end(),
                               w.accepted_ids.begin(), w.accepted_ids.end());
+    total.accepted_samples.insert(total.accepted_samples.end(),
+                                  w.accepted_samples.begin(),
+                                  w.accepted_samples.end());
   }
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
 
@@ -259,6 +280,21 @@ int main(int argc, char** argv) {
               quantile(total.latencies_ms, 0.99),
               total.latencies_ms.empty() ? 0.0
                                          : total.latencies_ms.back());
+
+  // Slowest accepted submits, with their trace ids, so a latency outlier
+  // in a smoke run is attributable to one task's span chain.
+  std::sort(total.accepted_samples.begin(), total.accepted_samples.end(),
+            [](const AcceptedSample& a, const AcceptedSample& b) {
+              return a.ms > b.ms;
+            });
+  const std::size_t slow_k =
+      std::min<std::size_t>(5, total.accepted_samples.size());
+  for (std::size_t i = 0; i < slow_k; ++i) {
+    const AcceptedSample& s = total.accepted_samples[i];
+    std::printf("loadgen: slowest[%zu] ms=%.3f id=%" PRIu64 " trace=%s\n", i,
+                s.ms, s.id,
+                s.trace_id.empty() ? "-" : s.trace_id.c_str());
+  }
 
   if (total.requests == 0 || total.transport_errors == total.requests) {
     std::fprintf(stderr, "loadgen: no successful requests\n");
@@ -301,9 +337,12 @@ int main(int argc, char** argv) {
               " waited_seconds=%.2f\n",
               queued, stat_u64(stats, "inbox_depth"), drain_waited);
 
-  // Spot-check a few accepted ids end to end.
+  // Spot-check a few accepted ids end to end. A 410 is not a failure: the
+  // gateway's bounded status table evicts terminal tasks FIFO, so under
+  // enough churn an old id is legitimately gone.
   std::uint64_t status_checked = 0;
   std::uint64_t status_bad = 0;
+  std::uint64_t status_evicted = 0;
   const std::size_t step =
       std::max<std::size_t>(1, total.accepted_ids.size() / 16);
   for (std::size_t i = 0; i < total.accepted_ids.size(); i += step) {
@@ -312,6 +351,10 @@ int main(int argc, char** argv) {
         opt.host, static_cast<std::uint16_t>(opt.port), "GET",
         "/task/" + std::to_string(id), {}, opt.timeout_ms);
     ++status_checked;
+    if (r.ok && r.status == 410) {
+      ++status_evicted;
+      continue;
+    }
     if (!r.ok || r.status != 200) {
       ++status_bad;
       continue;
@@ -321,8 +364,9 @@ int main(int argc, char** argv) {
       ++status_bad;
     }
   }
-  std::printf("loadgen: status_checked=%" PRIu64 " status_bad=%" PRIu64 "\n",
-              status_checked, status_bad);
+  std::printf("loadgen: status_checked=%" PRIu64 " status_bad=%" PRIu64
+              " status_evicted=%" PRIu64 "\n",
+              status_checked, status_bad, status_evicted);
 
   // Conservation: every accepted task is in exactly one lifecycle state,
   // and the platform accepted at least what this client saw accepted

@@ -23,6 +23,13 @@
 //                         histogram, and its complete _quantile gauge set
 //                         (quantile= 0.5, 0.9, 0.99 — no gaps, no extras).
 //
+//   --require-slo         fail unless the exposition carries the SLO
+//                         monitor's gauge families for all four SLIs
+//                         (submit_latency, dispatch_success, expiry,
+//                         regret_gap): mfcp_slo_value/budget/firing per
+//                         SLI, and mfcp_slo_burn_rate with both
+//                         window="fast" and window="slow" per SLI.
+//
 //   --journal <file>      engine round journal (JSONL). Checks each line
 //                         is a flat JSON object and, where the regret-
 //                         attribution fields are present, that they sum to
@@ -31,6 +38,13 @@
 //                         serialized values).
 //   --require-attribution fail unless at least one journal record carries
 //                         the attribution fields.
+//
+//   --tasktraces <file>   task-trace JSONL (TraceStore::drain_to output).
+//                         Checks each record carries a 16-hex trace_id, a
+//                         task_id, a state, a non-empty chain, and exactly
+//                         `spans` sN_name fields; fails when the file has
+//                         no records at all (a vacuous pass would hide a
+//                         sampling wiring bug).
 //
 // Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage/IO.
 #include <cctype>
@@ -143,7 +157,8 @@ std::optional<std::string> label_value(const std::string& labels,
   return labels.substr(pos + needle.size(), close - pos - needle.size());
 }
 
-int check_exposition(const std::string& path, bool require_gateway) {
+int check_exposition(const std::string& path, bool require_gateway,
+                     bool require_slo) {
   std::ifstream in(path);
   if (!in.is_open()) {
     std::fprintf(stderr, "cannot open exposition file %s\n", path.c_str());
@@ -169,6 +184,13 @@ int check_exposition(const std::string& path, bool require_gateway) {
   // Gateway-family evidence for --require-gateway.
   std::size_t gateway_request_samples = 0;
   std::set<std::string> gateway_quantiles;
+
+  // SLO-family evidence for --require-slo: which SLIs each family
+  // covers, and (sli, window) pairs for the burn-rate family.
+  std::set<std::string> slo_value_slis;
+  std::set<std::string> slo_budget_slis;
+  std::set<std::string> slo_firing_slis;
+  std::set<std::string> slo_burn_pairs;  // "sli/window"
 
   auto close_series = [&](std::size_t line_no, const std::string& line) {
     if (!series_key.empty() || last_bucket >= 0.0) {
@@ -238,6 +260,27 @@ int check_exposition(const std::string& path, bool require_gateway) {
         label_value(s->labels, "route").has_value() &&
         label_value(s->labels, "status").has_value()) {
       ++gateway_request_samples;
+    }
+    if (family == "mfcp_slo_value" || family == "mfcp_slo_budget" ||
+        family == "mfcp_slo_firing" || family == "mfcp_slo_burn_rate") {
+      const auto sli = label_value(s->labels, "sli");
+      if (!sli.has_value()) {
+        fail("SLO sample without an sli label", line_no, line);
+      } else if (family == "mfcp_slo_value") {
+        slo_value_slis.insert(*sli);
+      } else if (family == "mfcp_slo_budget") {
+        slo_budget_slis.insert(*sli);
+      } else if (family == "mfcp_slo_firing") {
+        slo_firing_slis.insert(*sli);
+      } else {
+        const auto window = label_value(s->labels, "window");
+        if (!window.has_value()) {
+          fail("mfcp_slo_burn_rate sample without a window label", line_no,
+               line);
+        } else {
+          slo_burn_pairs.insert(*sli + "/" + *window);
+        }
+      }
     }
     if (family == "mfcp_gateway_submit_seconds_quantile") {
       if (const auto q = label_value(s->labels, "quantile")) {
@@ -330,6 +373,42 @@ int check_exposition(const std::string& path, bool require_gateway) {
       ++failures;
     }
   }
+  if (require_slo) {
+    const char* kSlis[] = {"submit_latency", "dispatch_success", "expiry",
+                           "regret_gap"};
+    for (const char* sli : kSlis) {
+      if (slo_value_slis.count(sli) == 0) {
+        std::fprintf(stderr,
+                     "FAIL: --require-slo: no mfcp_slo_value sample for "
+                     "sli=\"%s\"\n",
+                     sli);
+        ++failures;
+      }
+      if (slo_budget_slis.count(sli) == 0) {
+        std::fprintf(stderr,
+                     "FAIL: --require-slo: no mfcp_slo_budget sample for "
+                     "sli=\"%s\"\n",
+                     sli);
+        ++failures;
+      }
+      if (slo_firing_slis.count(sli) == 0) {
+        std::fprintf(stderr,
+                     "FAIL: --require-slo: no mfcp_slo_firing sample for "
+                     "sli=\"%s\"\n",
+                     sli);
+        ++failures;
+      }
+      for (const char* window : {"fast", "slow"}) {
+        if (slo_burn_pairs.count(std::string(sli) + "/" + window) == 0) {
+          std::fprintf(stderr,
+                       "FAIL: --require-slo: no mfcp_slo_burn_rate sample "
+                       "for sli=\"%s\" window=\"%s\"\n",
+                       sli, window);
+          ++failures;
+        }
+      }
+    }
+  }
   std::printf("exposition %s: %zu lines, %zu families, %zu histograms with "
               "observations, %zu gateway request samples\n",
               path.c_str(), line_no, seen_families.size(),
@@ -408,40 +487,137 @@ int check_journal(const std::string& path, bool require_attribution) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Minimal flat-JSON string extraction: the value of "key":"..." with no
+/// unescaping (the writers never escape the fields checked here).
+std::optional<std::string> json_string_field(const std::string& line,
+                                             const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::size_t close = line.find('"', pos + needle.size());
+  if (close == std::string::npos) {
+    return std::nullopt;
+  }
+  return line.substr(pos + needle.size(), close - pos - needle.size());
+}
+
+int check_tasktraces(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open tasktraces file %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t records = 0;
+  std::size_t complete = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      fail("tasktrace line is not a JSON object", line_no, line);
+      continue;
+    }
+    ++records;
+    const auto trace_id = json_string_field(line, "trace_id");
+    if (!trace_id.has_value() || trace_id->size() != 16 ||
+        trace_id->find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+      fail("tasktrace record without a 16-hex trace_id", line_no, line);
+    }
+    if (!json_field(line, "task_id").has_value()) {
+      fail("tasktrace record without a task_id", line_no, line);
+    }
+    const auto state = json_string_field(line, "state");
+    if (!state.has_value() || state->empty()) {
+      fail("tasktrace record without a state", line_no, line);
+    } else if (*state != "in_flight") {
+      ++complete;
+    }
+    const auto chain = json_string_field(line, "chain");
+    if (!chain.has_value() || chain->empty()) {
+      fail("tasktrace record without a span chain", line_no, line);
+    }
+    const auto spans = json_field(line, "spans");
+    if (!spans.has_value() || *spans < 1.0) {
+      fail("tasktrace record without spans", line_no, line);
+      continue;
+    }
+    // Every declared span must have its sN_name field, and no extras.
+    std::size_t named = 0;
+    for (std::size_t pos = line.find("_name\":"); pos != std::string::npos;
+         pos = line.find("_name\":", pos + 1)) {
+      ++named;
+    }
+    if (named != static_cast<std::size_t>(*spans)) {
+      fail("span count disagrees with sN_name fields (spans=" +
+               std::to_string(static_cast<std::size_t>(*spans)) +
+               ", named=" + std::to_string(named) + ")",
+           line_no, line);
+    }
+  }
+  if (records == 0) {
+    std::fprintf(stderr,
+                 "FAIL: tasktraces file %s has no records (sampling "
+                 "produced nothing)\n",
+                 path.c_str());
+    ++failures;
+  }
+  std::printf("tasktraces %s: %zu lines, %zu records, %zu terminal\n",
+              path.c_str(), line_no, records, complete);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string exposition_path;
   std::string journal_path;
+  std::string tasktraces_path;
   bool require_attribution = false;
   bool require_gateway = false;
+  bool require_slo = false;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--exposition") == 0 && k + 1 < argc) {
       exposition_path = argv[++k];
     } else if (std::strcmp(argv[k], "--journal") == 0 && k + 1 < argc) {
       journal_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--tasktraces") == 0 && k + 1 < argc) {
+      tasktraces_path = argv[++k];
     } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
       require_attribution = true;
     } else if (std::strcmp(argv[k], "--require-gateway") == 0) {
       require_gateway = true;
+    } else if (std::strcmp(argv[k], "--require-slo") == 0) {
+      require_slo = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--exposition <file>] [--journal <file>] "
-                   "[--require-attribution] [--require-gateway]\n",
+                   "[--tasktraces <file>] [--require-attribution] "
+                   "[--require-gateway] [--require-slo]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (exposition_path.empty() && journal_path.empty()) {
+  if (exposition_path.empty() && journal_path.empty() &&
+      tasktraces_path.empty()) {
     std::fprintf(stderr, "nothing to check (see --help usage)\n");
     return 2;
   }
   int rc = 0;
   if (!exposition_path.empty()) {
-    rc = std::max(rc, check_exposition(exposition_path, require_gateway));
+    rc = std::max(rc, check_exposition(exposition_path, require_gateway,
+                                       require_slo));
   }
   if (!journal_path.empty()) {
     rc = std::max(rc, check_journal(journal_path, require_attribution));
+  }
+  if (!tasktraces_path.empty()) {
+    rc = std::max(rc, check_tasktraces(tasktraces_path));
   }
   if (rc == 0) {
     std::printf("obs_selfcheck: all checks passed\n");
