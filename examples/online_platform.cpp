@@ -47,9 +47,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "control/ratekeeper.hpp"
+#include "control/token_bucket.hpp"
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
 #include "net/gateway.hpp"
@@ -88,6 +91,9 @@ int main(int argc, char** argv) {
   double serve_seconds = 0.0;  // 0 = until SIGINT/SIGTERM
   double hours_per_second = 60.0;
   double trace_sample = 0.0;  // task-lifecycle trace sampling rate [0,1]
+  bool ratekeeper_on = false;
+  std::string slo_config_path;
+  std::string alert_log_path;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
       serve_port = std::atoi(argv[++k]);
@@ -103,12 +109,20 @@ int main(int argc, char** argv) {
       hours_per_second = std::atof(argv[++k]);
     } else if (std::strcmp(argv[k], "--trace-sample") == 0 && k + 1 < argc) {
       trace_sample = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--ratekeeper") == 0) {
+      ratekeeper_on = true;
+    } else if (std::strcmp(argv[k], "--slo-config") == 0 && k + 1 < argc) {
+      slo_config_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--alert-log") == 0 && k + 1 < argc) {
+      alert_log_path = argv[++k];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve-port N] [--linger-seconds S]\n"
                    "          [--gateway-port N] [--serve-seconds S]\n"
                    "          [--sim-hours-per-second X] "
-                   "[--trace-sample R]\n",
+                   "[--trace-sample R]\n"
+                   "          [--ratekeeper] [--slo-config FILE] "
+                   "[--alert-log FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -177,12 +191,54 @@ int main(int argc, char** argv) {
 
   // Task-lifecycle tracing (per-task span chains behind GET /trace/<id>)
   // and the SLO burn-rate monitor (behind GET /alerts + mfcp_slo_*
-  // gauges). Tracing stays off unless --trace-sample > 0.
+  // gauges). Tracing stays off unless --trace-sample > 0. SLO targets
+  // come from --slo-config when given, defaults otherwise.
+  obs::SloConfig slo_cfg;
+  if (!slo_config_path.empty()) {
+    std::string slo_err;
+    const auto loaded = obs::load_slo_config(slo_config_path, &slo_err);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "--slo-config %s: %s\n", slo_config_path.c_str(),
+                   slo_err.c_str());
+      return 2;
+    }
+    slo_cfg = *loaded;
+    std::printf("SLO targets loaded from %s\n", slo_config_path.c_str());
+  }
   obs::TraceStore task_traces(4096);
-  obs::SloMonitor slo;
+  obs::SloMonitor slo(slo_cfg);
   cfg.task_traces = &task_traces;
   cfg.trace_sample_rate = trace_sample;
   cfg.slo = &slo;
+
+  // Append-only alert stream: one JSONL record per SLO rule transition
+  // (fire / resolve), in addition to the live GET /alerts view.
+  std::optional<obs::JsonlWriter> alert_log;
+  if (!alert_log_path.empty()) {
+    alert_log.emplace(alert_log_path);
+    slo.set_alert_log(&*alert_log);
+  }
+
+  // Ratekeeper: the closed-loop admission controller plus the per-client
+  // token buckets it drives. Initial rate is sized from the batcher (a
+  // few full batches per timeout window) and the wait target leaves one
+  // extra timeout of headroom before the controller pushes back.
+  std::optional<control::Ratekeeper> ratekeeper;
+  std::optional<control::TokenBucketTable> buckets;
+  if (ratekeeper_on) {
+    control::RatekeeperConfig rk_cfg;
+    rk_cfg.initial_rate_per_hour = 4.0 *
+                                   static_cast<double>(cfg.batcher.max_batch) /
+                                   cfg.batcher.max_wait_hours;
+    rk_cfg.wait_target_hours = 2.0 * cfg.batcher.max_wait_hours;
+    ratekeeper.emplace(rk_cfg, slo.config());
+    buckets.emplace();
+    cfg.ratekeeper = &*ratekeeper;
+    cfg.admission_buckets = &*buckets;
+    std::printf("ratekeeper enabled: initial rate %.1f tasks/h, wait "
+                "target %.2fh\n",
+                rk_cfg.initial_rate_per_hour, rk_cfg.wait_target_hours);
+  }
 
   ThreadPool pool;
   engine::OnlineEngine eng(cfg, platform, embedder, predictor, &pool);
@@ -194,11 +250,14 @@ int main(int argc, char** argv) {
     engine::GatewayLinkConfig link_cfg;
     link_cfg.traces = &task_traces;
     link_cfg.trace_sample_rate = trace_sample;
+    link_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
     engine::GatewayLink link(link_cfg);
     net::GatewayConfig gateway_cfg;
     gateway_cfg.http.port = static_cast<std::uint16_t>(gateway_port);
     gateway_cfg.slo = &slo;
     gateway_cfg.traces = &task_traces;
+    gateway_cfg.ratekeeper = ratekeeper.has_value() ? &*ratekeeper : nullptr;
+    gateway_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
     net::PlatformGateway gateway(link, &registry, &trace, gateway_cfg);
     // Resolution near the 50 ms submit-latency target instead of the
     // generic decade grid (safe here: nothing has observed into the
@@ -234,11 +293,12 @@ int main(int argc, char** argv) {
       timer.join();
     }
     const engine::ServiceStats stats = link.stats();
-    std::printf("\ngateway: %llu accepted, %llu rejected busy; task states "
-                "%llu matched / %llu dispatched / %llu expired / %llu "
-                "rejected\n",
+    std::printf("\ngateway: %llu accepted, %llu rejected busy, %llu "
+                "throttled; task states %llu matched / %llu dispatched / "
+                "%llu expired / %llu rejected\n",
                 static_cast<unsigned long long>(stats.submitted),
                 static_cast<unsigned long long>(stats.rejected_busy),
+                static_cast<unsigned long long>(stats.rejected_throttled),
                 static_cast<unsigned long long>(stats.tasks.matched),
                 static_cast<unsigned long long>(stats.tasks.dispatched),
                 static_cast<unsigned long long>(stats.tasks.expired),
@@ -323,6 +383,25 @@ int main(int argc, char** argv) {
       result.rounds.empty() ? 0.0 : result.rounds.back().close_hours;
   std::printf("\nSLO state at t=%.2fh:\n%s", end_hours,
               obs::slo_summary_table(slo.evaluate(end_hours)).c_str());
+  if (alert_log.has_value()) {
+    alert_log->flush();
+    std::printf("alert log: %s (%zu transitions)\n", alert_log_path.c_str(),
+                alert_log->records_written());
+  }
+  if (ratekeeper.has_value()) {
+    const control::RatekeeperStatus rk = ratekeeper->status();
+    std::printf("\nratekeeper: rate %.1f tasks/h, limiting=%s, "
+                "pressure %.2f; %llu ticks (%llu decreases, %llu "
+                "recoveries); buckets admitted %llu / throttled %llu "
+                "across %zu clients\n",
+                rk.rate_per_hour, control::to_string(rk.limiting).c_str(),
+                rk.pressure, static_cast<unsigned long long>(rk.ticks),
+                static_cast<unsigned long long>(rk.decreases),
+                static_cast<unsigned long long>(rk.recoveries),
+                static_cast<unsigned long long>(buckets->admitted_total()),
+                static_cast<unsigned long long>(buckets->throttled_total()),
+                buckets->size());
+  }
   if (trace_sample > 0.0) {
     obs::JsonlWriter tasktraces("online_platform.tasktraces");
     std::printf("task traces: %llu begun, %llu evicted; drained %zu to "

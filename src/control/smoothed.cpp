@@ -1,0 +1,74 @@
+#include "control/smoothed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mfcp::control {
+
+SmoothedSignal::SmoothedSignal(double time_constant_hours)
+    : tau_(time_constant_hours) {
+  MFCP_CHECK(tau_ > 0.0, "smoothing time constant must be positive");
+}
+
+void SmoothedSignal::reset(double now_hours, double value) {
+  smoothed_ = value;
+  raw_ = value;
+  last_hours_ = now_hours;
+  seen_ = true;
+}
+
+void SmoothedSignal::observe(double now_hours, double value) {
+  raw_ = value;
+  if (!seen_) {
+    // First sample pins the filter: starting from an arbitrary zero would
+    // make early control decisions depend on warm-up length.
+    reset(now_hours, value);
+    return;
+  }
+  const double dt = std::max(0.0, now_hours - last_hours_);
+  const double alpha = 1.0 - std::exp(-dt / tau_);
+  smoothed_ += alpha * (value - smoothed_);
+  last_hours_ = std::max(last_hours_, now_hours);
+}
+
+SmoothedRate::SmoothedRate(double time_constant_hours)
+    : tau_(time_constant_hours) {
+  MFCP_CHECK(tau_ > 0.0, "smoothing time constant must be positive");
+}
+
+void SmoothedRate::reset(double now_hours) {
+  rate_ = 0.0;
+  pending_ = 0.0;
+  last_hours_ = now_hours;
+  seen_ = true;
+}
+
+void SmoothedRate::add(double now_hours, double events) {
+  if (!seen_) {
+    reset(now_hours);
+  }
+  const double dt = now_hours - last_hours_;
+  if (dt <= 0.0) {
+    // Same instant (or clock noise): accumulate; the burst is rated when
+    // time next advances, keeping instantaneous rates finite.
+    pending_ += events;
+    return;
+  }
+  const double instantaneous = (pending_ + events) / dt;
+  const double alpha = 1.0 - std::exp(-dt / tau_);
+  rate_ += alpha * (instantaneous - rate_);
+  pending_ = 0.0;
+  last_hours_ = now_hours;
+}
+
+double SmoothedRate::rate_per_hour(double now_hours) const {
+  if (!seen_) {
+    return 0.0;
+  }
+  const double dt = std::max(0.0, now_hours - last_hours_);
+  return rate_ * std::exp(-dt / tau_);
+}
+
+}  // namespace mfcp::control

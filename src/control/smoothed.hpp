@@ -1,0 +1,75 @@
+// Smoothed sensors on the simulated clock: the Ratekeeper's input
+// primitives, modeled on FoundationDB's Smoother counters.
+//
+// Every decision the admission controller makes must be a pure function
+// of simulated time and observed platform state, so the same seed and
+// trace replay to the same admission decisions (the round journal is
+// byte-compared in CI). These primitives therefore never read the wall
+// clock: callers pass the simulated `now_hours` explicitly, and all
+// smoothing math is closed-form exponential decay — no iteration counts,
+// no hidden state that depends on call frequency beyond the timestamps
+// themselves.
+//
+//   SmoothedSignal — exponential smoothing of a sampled level (queue
+//                    fraction, wait time, burn rate). A sample moves the
+//                    estimate toward the observed value by
+//                    1 - exp(-dt / tau), so irregular sampling intervals
+//                    still produce the same continuous-time filter.
+//   SmoothedRate   — event counting with exponential decay, reporting
+//                    events per simulated hour. Reads decay toward zero
+//                    when no events arrive, so a stalled stream reports a
+//                    falling rate instead of freezing at its last burst.
+#pragma once
+
+namespace mfcp::control {
+
+/// Exponentially smoothed level of an irregularly sampled signal.
+class SmoothedSignal {
+ public:
+  /// `time_constant_hours` is the 1/e settling time of the filter.
+  explicit SmoothedSignal(double time_constant_hours);
+
+  /// Forgets all history and pins the estimate at `value`.
+  void reset(double now_hours, double value = 0.0);
+
+  /// Folds one sample in. Out-of-order timestamps clamp dt to zero (the
+  /// sample still updates raw() but not the smoothed estimate).
+  void observe(double now_hours, double value);
+
+  /// Current smoothed estimate (0 before the first sample).
+  [[nodiscard]] double value() const noexcept { return smoothed_; }
+  /// The most recent raw sample, unfiltered.
+  [[nodiscard]] double raw() const noexcept { return raw_; }
+  [[nodiscard]] bool seen() const noexcept { return seen_; }
+
+ private:
+  double tau_;
+  double smoothed_ = 0.0;
+  double raw_ = 0.0;
+  double last_hours_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Exponentially smoothed event rate in events per simulated hour.
+class SmoothedRate {
+ public:
+  explicit SmoothedRate(double time_constant_hours);
+
+  void reset(double now_hours);
+
+  /// Records `events` occurrences at `now_hours`. Events stamped at the
+  /// same instant accumulate and fold into the next time-advancing call.
+  void add(double now_hours, double events = 1.0);
+
+  /// Rate estimate at `now_hours`, decaying toward zero with no events.
+  [[nodiscard]] double rate_per_hour(double now_hours) const;
+
+ private:
+  double tau_;
+  double rate_ = 0.0;
+  double pending_ = 0.0;  // events at exactly last_hours_, not yet rated
+  double last_hours_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace mfcp::control

@@ -65,6 +65,15 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
   if (config_.slo != nullptr && config_.registry != nullptr) {
     config_.slo->bind_metrics(config_.registry);
   }
+  MFCP_CHECK((config_.ratekeeper == nullptr) ==
+                 (config_.admission_buckets == nullptr),
+             "ratekeeper and admission buckets enable together");
+  if (config_.ratekeeper != nullptr) {
+    // Publish the controller's initial rate so the very first admissions
+    // are already governed (tick() refines it every round).
+    config_.admission_buckets->set_global_rate(
+        config_.ratekeeper->status().rate_per_hour, clock_hours_);
+  }
   bind_metrics();
 }
 
@@ -114,7 +123,57 @@ void OnlineEngine::note_slo(const RoundRecord* rec) {
   } else {
     return;  // nothing new; keep the previous evaluation
   }
-  config_.slo->evaluate(clock_hours_);
+  // Capture the burn the Ratekeeper normalizes against: max over rules of
+  // min(fast, slow) — the same both-windows conjunction the firing rule
+  // applies, so the controller reacts exactly when alerts are near.
+  double burn = 0.0;
+  for (const obs::SloState& state : config_.slo->evaluate(clock_hours_)) {
+    burn = std::max(burn, std::min(state.fast_burn, state.slow_burn));
+  }
+  last_slo_burn_ = burn;
+}
+
+bool OnlineEngine::admission_throttled(const Arrival& arrival) {
+  if (config_.admission_buckets == nullptr ||
+      arrival.id >= kExternalIdBase) {
+    return false;  // external tasks were charged at the gateway door
+  }
+  return !config_.admission_buckets
+              ->try_admit(control::kAnonymousClient, clock_hours_)
+              .admitted;
+}
+
+void OnlineEngine::tick_ratekeeper(RoundRecord& rec) {
+  if (config_.ratekeeper == nullptr) {
+    return;
+  }
+  const std::uint64_t expired_total = queue_.stats().expired;
+  control::RatekeeperSignals signals;
+  signals.now_hours = clock_hours_;
+  signals.queue_depth = queue_.depth();
+  signals.queue_capacity = config_.queue.capacity;
+  signals.batch_wait_hours = rec.max_wait_hours;
+  signals.batch = rec.batch;
+  signals.expired = expired_total - rk_expired_seen_;
+  signals.slo_burn = last_slo_burn_;
+  rk_expired_seen_ = expired_total;
+
+  const double rate = config_.ratekeeper->tick(signals);
+  config_.admission_buckets->set_global_rate(rate, clock_hours_);
+
+  rec.ratekeeper_valid = true;
+  rec.admission_rate_per_hour = rate;
+  rec.throttled_total = config_.admission_buckets->throttled_total();
+  rec.limiting_signal = config_.ratekeeper->status().limiting;
+
+  if (telemetry_.rk_rate != nullptr) {
+    telemetry_.rk_rate->set(rate);
+    telemetry_.rk_tokens->set(config_.admission_buckets->tokens_total());
+    telemetry_.rk_limiting->set(
+        static_cast<double>(static_cast<int>(rec.limiting_signal)));
+    telemetry_.rk_throttled->add(rec.throttled_total - rk_throttled_seen_);
+    rk_throttled_seen_ = rec.throttled_total;
+  }
 }
 
 void OnlineEngine::bind_metrics() {
@@ -147,6 +206,13 @@ void OnlineEngine::bind_metrics() {
   telemetry_.tasks_matched = &reg.counter("mfcp_engine_tasks_matched_total");
   telemetry_.retrains = &reg.counter("mfcp_engine_retrains_total");
   telemetry_.sim_time = &reg.gauge("mfcp_engine_sim_time_hours");
+  if (config_.ratekeeper != nullptr) {
+    telemetry_.rk_rate = &reg.gauge("mfcp_ratekeeper_rate");
+    telemetry_.rk_tokens = &reg.gauge("mfcp_ratekeeper_tokens");
+    telemetry_.rk_limiting = &reg.gauge("mfcp_ratekeeper_limiting_signal");
+    telemetry_.rk_throttled =
+        &reg.counter("mfcp_ratekeeper_throttled_total");
+  }
 }
 
 void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
@@ -169,6 +235,12 @@ void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
       .field("drift_stat", rec.drift_stat)
       .field("retrained", rec.retrained)
       .field("retrain_total", static_cast<std::uint64_t>(rec.retrain_total));
+  if (rec.ratekeeper_valid) {
+    journal.field("admission_rate", rec.admission_rate_per_hour)
+        .field("throttled_total", rec.throttled_total)
+        .field("limiting_signal",
+               control::to_string(rec.limiting_signal));
+  }
   if (rec.attribution.valid) {
     journal.field("pred_gap", rec.attribution.pred_gap)
         .field("solver_gap", rec.attribution.solver_gap)
@@ -209,6 +281,7 @@ bool OnlineEngine::finish_round(RoundTrigger trigger, RunLog& log) {
   }
   RoundRecord rec = run_round(trigger);
   note_slo(&rec);
+  tick_ratekeeper(rec);
 
   // Trailing rolling window for the CSV...
   log.recent_regret.push_back(rec.regret);
@@ -258,6 +331,9 @@ void OnlineEngine::finalize(RunLog& log, double wall_seconds) {
   log.result.counters = counters_;
   log.result.queue = queue_.stats();
   log.result.wall_seconds = wall_seconds;
+  if (config_.admission_buckets != nullptr) {
+    log.result.throttled = config_.admission_buckets->throttled_total();
+  }
 }
 
 EngineResult OnlineEngine::run() {
@@ -287,12 +363,17 @@ EngineResult OnlineEngine::run() {
       auto arrival = arrivals_.next();
       ++counters_.arrivals;
       queue_.expire(clock_hours_);
-      maybe_begin_trace(*arrival);
-      if (queue_.push(std::move(*arrival))) {
-        ++counters_.admitted;
-      }
-      if (queue_.depth() >= batcher_.config().max_batch) {
-        finish_round(RoundTrigger::kSize, log);
+      if (admission_throttled(*arrival)) {
+        // Refused at the door: no queue entry, no trace, no round
+        // trigger — the bucket table carries the count.
+      } else {
+        maybe_begin_trace(*arrival);
+        if (queue_.push(std::move(*arrival))) {
+          ++counters_.admitted;
+        }
+        if (queue_.depth() >= batcher_.config().max_batch) {
+          finish_round(RoundTrigger::kSize, log);
+        }
       }
     } else if (next_timeout.has_value()) {
       advance_clock(*next_timeout);
@@ -326,6 +407,9 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   link.configure_drain(
       batcher_.config().max_batch,
       batcher_.config().max_wait_hours / serve_config.hours_per_second);
+  // Retry-After conversions (simulated bucket deficits -> wall seconds)
+  // need the serve clock rate.
+  link.note_sim_rate(serve_config.hours_per_second);
 
   Stopwatch wall;
   RunLog log;
@@ -338,6 +422,9 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   const auto admit = [&](Arrival arrival) {
     ++counters_.arrivals;
     queue_.expire(clock_hours_);
+    if (admission_throttled(arrival)) {
+      return;  // synthetic stream only; external ids pass (see above)
+    }
     maybe_begin_trace(arrival);
     if (queue_.push(std::move(arrival))) {
       ++counters_.admitted;

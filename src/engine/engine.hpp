@@ -23,6 +23,8 @@
 #include <deque>
 #include <vector>
 
+#include "control/ratekeeper.hpp"
+#include "control/token_bucket.hpp"
 #include "engine/arrivals.hpp"
 #include "engine/batcher.hpp"
 #include "engine/checkpoint.hpp"
@@ -128,6 +130,18 @@ struct EngineConfig {
   /// successes, expiries, regret gap) and evaluated after each, on the
   /// simulated clock. Borrowed; bound to `registry` when both are set.
   obs::SloMonitor* slo = nullptr;
+
+  /// Closed-loop admission control: both must be set to enable. The
+  /// Ratekeeper is ticked after every closed round (run() and serve()
+  /// alike) and its rate published into the bucket table; synthetic
+  /// arrivals then spend an anonymous-bucket token at the door (throttled
+  /// arrivals never reach the queue, a trace, or the status table), while
+  /// external submissions are charged by the GatewayLink at POST /submit
+  /// against the *same* table — never twice. Both borrowed; engine-side
+  /// ticks and admissions stay on the simulated clock, so seeded runs
+  /// make identical admission decisions.
+  control::Ratekeeper* ratekeeper = nullptr;
+  control::TokenBucketTable* admission_buckets = nullptr;
 };
 
 /// One closed matching round, as written to the metrics CSV.
@@ -151,6 +165,13 @@ struct RoundRecord {
   std::size_t dispatch_ok = 0;   // first-attempt successes (not journaled)
   /// Regret decomposition (valid only when EngineConfig::attribution).
   obs::RegretBreakdown attribution;
+  /// Admission-control state at round close (valid only when the engine
+  /// runs with a Ratekeeper; journaled only then, so runs without one
+  /// stay byte-identical to pre-Ratekeeper journals).
+  bool ratekeeper_valid = false;
+  double admission_rate_per_hour = 0.0;
+  std::uint64_t throttled_total = 0;  // cumulative bucket throttles
+  control::LimitingSignal limiting_signal = control::LimitingSignal::kNone;
 };
 
 /// Appends `rec` to the JSONL round journal with a stable field order.
@@ -173,6 +194,9 @@ struct EngineResult {
   EngineCounters counters;
   QueueStats queue;
   double wall_seconds = 0.0;
+  /// Submissions the token buckets refused (engine door + gateway door;
+  /// zero without a Ratekeeper).
+  std::uint64_t throttled = 0;
 };
 
 /// How serve() maps wall time onto the simulated clock and paces its
@@ -246,8 +270,17 @@ class OnlineEngine {
   /// external ids are opened by the gateway link at POST /submit.
   void maybe_begin_trace(const Arrival& arrival);
   /// Feeds the SLO monitor after a round (rec) or a between-round expiry
-  /// sweep (nullptr), then re-evaluates the burn rates.
+  /// sweep (nullptr), then re-evaluates the burn rates (captured for the
+  /// Ratekeeper's burn signal).
   void note_slo(const RoundRecord* rec);
+  /// True when the Ratekeeper is enabled and the anonymous bucket refuses
+  /// `arrival` (synthetic arrivals only; external ids were charged at the
+  /// gateway door and pass through untouched).
+  [[nodiscard]] bool admission_throttled(const Arrival& arrival);
+  /// One controller step after a closed round: feeds the signals, ticks
+  /// the Ratekeeper, publishes the rate into the bucket table, exports
+  /// the mfcp_ratekeeper_* metrics, and stamps `rec`'s admission fields.
+  void tick_ratekeeper(RoundRecord& rec);
   /// Expires the queue, runs one round if anything is left, and folds the
   /// record into `log` (returns false when the queue emptied first).
   bool finish_round(RoundTrigger trigger, RunLog& log);
@@ -267,6 +300,12 @@ class OnlineEngine {
     obs::Counter* tasks_matched = nullptr;
     obs::Counter* retrains = nullptr;
     obs::Gauge* sim_time = nullptr;
+    // Ratekeeper export (bound only when both the registry and the
+    // controller are configured).
+    obs::Gauge* rk_rate = nullptr;
+    obs::Gauge* rk_tokens = nullptr;
+    obs::Gauge* rk_limiting = nullptr;
+    obs::Counter* rk_throttled = nullptr;
   };
 
   EngineConfig config_;
@@ -284,6 +323,9 @@ class OnlineEngine {
   double clock_hours_ = 0.0;
   std::size_t next_drift_ = 0;
   std::uint64_t slo_expired_seen_ = 0;  // queue expiry counter watermark
+  double last_slo_burn_ = 0.0;  // max min(fast, slow) burn, latest evaluate
+  std::uint64_t rk_expired_seen_ = 0;    // ratekeeper's own expiry watermark
+  std::uint64_t rk_throttled_seen_ = 0;  // exported-counter watermark
   EngineCounters counters_;
   Telemetry telemetry_;
   obs::AttributionRecorder attribution_recorder_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "control/token_bucket.hpp"
 #include "obs/trace_store.hpp"
 #include "support/check.hpp"
 
@@ -154,22 +155,24 @@ std::size_t GatewayLink::pressure() const {
 }
 
 double GatewayLink::retry_after_seconds(std::size_t pressure) const {
-  // How many rounds must close before the backlog falls back under the
-  // high-water mark, times the observed (or configured prior) wall-clock
-  // round cadence.
+  // Pressure shed as a replenish problem, through the same honest formula
+  // the token buckets use: the deficit is the backlog above high water,
+  // and it drains at batch-per-round-cadence tasks per wall second.
   const std::size_t batch =
       std::max<std::size_t>(1, round_batch_.load(std::memory_order_relaxed));
   const std::size_t excess =
       pressure >= config_.high_water ? pressure - config_.high_water + 1 : 1;
-  const double rounds =
-      std::ceil(static_cast<double>(excess) / static_cast<double>(batch));
-  const double cadence = round_seconds_ewma_.load(std::memory_order_relaxed);
-  return std::max(config_.retry_after_floor_seconds,
-                  rounds * std::max(cadence, 1e-3));
+  const double cadence = std::max(
+      round_seconds_ewma_.load(std::memory_order_relaxed), 1e-3);
+  const double drain_per_second = static_cast<double>(batch) / cadence;
+  return control::replenish_seconds(static_cast<double>(excess),
+                                    drain_per_second,
+                                    config_.retry_after_floor_seconds);
 }
 
 SubmitTicket GatewayLink::submit(const sim::TaskDescriptor& task,
-                                 double deadline_hours) {
+                                 double deadline_hours,
+                                 std::string_view client) {
   SubmitTicket ticket;
   if (stop_requested()) {
     // Draining: the platform no longer accepts work. Pressure 0 keeps the
@@ -177,6 +180,23 @@ SubmitTicket GatewayLink::submit(const sim::TaskDescriptor& task,
     ticket.retry_after_seconds = config_.retry_after_floor_seconds;
     rejected_busy_.fetch_add(1, std::memory_order_relaxed);
     return ticket;
+  }
+  if (config_.buckets != nullptr) {
+    const control::AdmitDecision decision = config_.buckets->try_admit(
+        client, sim_time_hours_.load(std::memory_order_relaxed));
+    if (!decision.admitted) {
+      // Bucket deficit (simulated tokens) replenishing at the client's
+      // share, converted to wall seconds through the serve clock rate.
+      const double hps =
+          sim_hours_per_second_.load(std::memory_order_relaxed);
+      ticket.throttled = true;
+      ticket.retry_after_seconds = control::replenish_seconds(
+          1.0 - decision.tokens, decision.rate_per_hour * hps,
+          config_.retry_after_floor_seconds);
+      ticket.pressure = pressure();
+      rejected_throttled_.fetch_add(1, std::memory_order_relaxed);
+      return ticket;
+    }
   }
   const double deadline =
       deadline_hours > 0.0 ? deadline_hours : config_.default_deadline_hours;
@@ -274,6 +294,8 @@ ServiceStats GatewayLink::stats() const {
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  s.rejected_throttled =
+      rejected_throttled_.load(std::memory_order_relaxed);
   s.rounds = rounds_.load(std::memory_order_relaxed);
   s.tasks_matched = tasks_matched_.load(std::memory_order_relaxed);
   s.sim_time_hours = sim_time_hours_.load(std::memory_order_relaxed);

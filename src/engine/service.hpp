@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,9 @@
 
 namespace mfcp::obs {
 class TraceStore;
+}
+namespace mfcp::control {
+class TokenBucketTable;
 }
 
 namespace mfcp::engine {
@@ -134,6 +138,7 @@ struct SubmitTicket {
   std::uint64_t id = 0;                // valid when accepted
   double retry_after_seconds = 0.0;    // valid when rejected
   std::size_t pressure = 0;            // inbox + queue depth at decision
+  bool throttled = false;              // rejected by the client's bucket
   std::uint64_t trace_id = 0;          // minted when accepted (always set)
   bool trace_sampled = false;          // whether /trace/<id> will resolve
 };
@@ -164,6 +169,15 @@ struct GatewayLinkConfig {
   obs::TraceStore* traces = nullptr;
   double trace_sample_rate = 0.0;
   std::uint64_t trace_salt = 0;
+
+  /// Ratekeeper enforcement point: when set, every submit first spends a
+  /// token from the caller's bucket (shared with the engine, which both
+  /// replenishes it from the controller's rate and charges its own
+  /// synthetic arrivals against it). A dry bucket rejects with 429 and a
+  /// Retry-After derived from the bucket's actual replenish time — the
+  /// same replenish_seconds formula the pressure-shed path uses.
+  /// Borrowed, optional.
+  control::TokenBucketTable* buckets = nullptr;
 };
 
 /// Aggregate service state returned by GET /stats.
@@ -171,7 +185,8 @@ struct ServiceStats {
   std::size_t inbox_depth = 0;
   std::size_t queue_depth = 0;
   std::uint64_t submitted = 0;      // accepted submissions
-  std::uint64_t rejected_busy = 0;  // 429s issued at the door
+  std::uint64_t rejected_busy = 0;  // pressure/drain 429s at the door
+  std::uint64_t rejected_throttled = 0;  // token-bucket 429s at the door
   std::uint64_t rounds = 0;
   std::uint64_t tasks_matched = 0;
   double sim_time_hours = 0.0;
@@ -189,9 +204,12 @@ class GatewayLink {
   // ----- gateway (HTTP worker) side --------------------------------------
 
   /// Admission decision + registration. `deadline_hours <= 0` applies the
-  /// configured default. Rejects when draining or over high water.
+  /// configured default. Rejects when draining, when the client's token
+  /// bucket is dry (buckets configured; empty `client` uses the anonymous
+  /// bucket), or over high water — in that order.
   SubmitTicket submit(const sim::TaskDescriptor& task,
-                      double deadline_hours = 0.0);
+                      double deadline_hours = 0.0,
+                      std::string_view client = {});
 
   [[nodiscard]] std::optional<TaskStatus> status(std::uint64_t id) const {
     return table_.get(id);
@@ -231,6 +249,14 @@ class GatewayLink {
   void note_sim_time(double hours) noexcept {
     sim_time_hours_.store(hours, std::memory_order_relaxed);
   }
+  /// Simulated hours per wall second (the serve clock rate): converts
+  /// bucket deficits into wall-clock Retry-After values.
+  void note_sim_rate(double hours_per_second) noexcept {
+    if (hours_per_second > 0.0) {
+      sim_hours_per_second_.store(hours_per_second,
+                                  std::memory_order_relaxed);
+    }
+  }
   /// One closed round: feeds the cadence EWMA and the /stats aggregates.
   void note_round(std::uint64_t round, double close_hours, double regret,
                   std::size_t batch);
@@ -263,8 +289,10 @@ class GatewayLink {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<double> sim_time_hours_{0.0};
+  std::atomic<double> sim_hours_per_second_{1.0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> rejected_throttled_{0};
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> tasks_matched_{0};
   std::atomic<double> last_round_close_hours_{0.0};

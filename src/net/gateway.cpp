@@ -73,6 +73,7 @@ std::string_view route_label(const HttpRequest& request) {
   if (request.path.rfind("/task/", 0) == 0) return "/task";
   if (request.path.rfind("/trace/", 0) == 0) return "/trace";
   if (request.path == "/alerts") return "/alerts";
+  if (request.path == "/ratekeeper") return "/ratekeeper";
   if (request.path == "/stats") return "/stats";
   if (request.path == "/metrics") return "/metrics";
   if (request.path == "/healthz") return "/healthz";
@@ -106,12 +107,14 @@ HttpResponse handle_submit(const HttpRequest& request,
     return error_json(400, parsed.error);
   }
   const engine::SubmitTicket ticket =
-      link.submit(parsed.task, parsed.deadline_hours);
+      link.submit(parsed.task, parsed.deadline_hours, parsed.client);
   if (!ticket.accepted) {
     HttpResponse r = json_response(
         429, "{\"accepted\":false,\"retry_after_seconds\":" +
                  fmt_double(ticket.retry_after_seconds) +
-                 ",\"pressure\":" + fmt_u64(ticket.pressure) + "}\n");
+                 ",\"pressure\":" + fmt_u64(ticket.pressure) +
+                 ",\"throttled\":" +
+                 (ticket.throttled ? "true" : "false") + "}\n");
     r.headers.emplace_back(
         "Retry-After",
         std::to_string(static_cast<long>(
@@ -172,6 +175,15 @@ HttpResponse handle_alerts(engine::GatewayLink& link, obs::SloMonitor* slo) {
   return json_response(200, slo_alerts_json(slo->evaluate(now), now));
 }
 
+HttpResponse handle_ratekeeper(const control::Ratekeeper* ratekeeper,
+                               const control::TokenBucketTable* buckets) {
+  if (ratekeeper == nullptr || buckets == nullptr) {
+    return error_json(404, "ratekeeper disabled");
+  }
+  return json_response(
+      200, ratekeeper_status_json(ratekeeper->status(), *buckets));
+}
+
 }  // namespace
 
 SubmitParse parse_submit_body(std::string_view body) {
@@ -184,7 +196,8 @@ SubmitParse parse_submit_body(std::string_view body) {
   for (const auto& [key, value] : *fields) {
     if (key != "family" && key != "dataset" && key != "depth" &&
         key != "width" && key != "batch_size" &&
-        key != "dataset_fraction" && key != "deadline_hours") {
+        key != "dataset_fraction" && key != "deadline_hours" &&
+        key != "client") {
       out.error = "unknown field: " + key;
       return out;
     }
@@ -252,6 +265,23 @@ SubmitParse parse_submit_body(std::string_view body) {
     }
     out.deadline_hours = it->second.num;
   }
+  if (const auto it = fields->find("client"); it != fields->end()) {
+    if (it->second.kind != JsonValue::Kind::kString ||
+        it->second.str.empty() || it->second.str.size() > 64) {
+      out.error = "client must be a string of 1..64 characters";
+      return out;
+    }
+    for (const char c : it->second.str) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      if (!ok) {
+        out.error = "client may only contain [A-Za-z0-9._-]";
+        return out;
+      }
+    }
+    out.client = it->second.str;
+  }
   out.ok = true;
   return out;
 }
@@ -286,6 +316,7 @@ std::string service_stats_json(const engine::ServiceStats& s) {
   out += ",\"queue_depth\":" + fmt_u64(s.queue_depth);
   out += ",\"accepted_total\":" + fmt_u64(s.submitted);
   out += ",\"rejected_busy_total\":" + fmt_u64(s.rejected_busy);
+  out += ",\"rejected_throttled_total\":" + fmt_u64(s.rejected_throttled);
   out += ",\"rounds\":" + fmt_u64(s.rounds);
   out += ",\"round_tasks_matched\":" + fmt_u64(s.tasks_matched);
   out += ",\"sim_time_hours\":" + fmt_double(s.sim_time_hours);
@@ -356,11 +387,47 @@ std::string slo_alerts_json(const std::vector<obs::SloState>& states,
   return out;
 }
 
+std::string ratekeeper_status_json(const control::RatekeeperStatus& status,
+                                   const control::TokenBucketTable& buckets) {
+  const std::vector<control::BucketView> views = buckets.snapshot();
+  std::string out = "{\"rate_per_hour\":" + fmt_double(status.rate_per_hour);
+  out += ",\"limiting_signal\":" +
+         json_quote(control::to_string(status.limiting));
+  out += ",\"pressure\":" + fmt_double(status.pressure);
+  out += ",\"queue_pressure\":" + fmt_double(status.queue_pressure);
+  out += ",\"wait_pressure\":" + fmt_double(status.wait_pressure);
+  out += ",\"expiry_pressure\":" + fmt_double(status.expiry_pressure);
+  out += ",\"burn_pressure\":" + fmt_double(status.burn_pressure);
+  out += ",\"admitted_rate_per_hour\":" +
+         fmt_double(status.admitted_rate_per_hour);
+  out += ",\"ticks\":" + fmt_u64(status.ticks);
+  out += ",\"decreases\":" + fmt_u64(status.decreases);
+  out += ",\"recoveries\":" + fmt_u64(status.recoveries);
+  out += ",\"throttled_total\":" + fmt_u64(buckets.throttled_total());
+  out += ",\"admitted_total\":" + fmt_u64(buckets.admitted_total());
+  out += ",\"evicted_total\":" + fmt_u64(buckets.evicted_total());
+  out += ",\"clients\":" + fmt_u64(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const control::BucketView& v = views[i];
+    const std::string p = ",\"b" + std::to_string(i) + "_";
+    out += p + "client\":" + json_quote(v.client);
+    out += p + "weight\":" + fmt_double(v.weight);
+    out += p + "tokens\":" + fmt_double(v.tokens);
+    out += p + "rate_per_hour\":" + fmt_double(v.rate_per_hour);
+    out += p + "admitted\":" + fmt_u64(v.admitted);
+    out += p + "throttled\":" + fmt_u64(v.throttled);
+  }
+  out += "}\n";
+  return out;
+}
+
 HttpResponse route_gateway_request(const HttpRequest& request,
                                    engine::GatewayLink& link,
                                    obs::MetricsRegistry* registry,
                                    obs::SloMonitor* slo,
-                                   obs::TraceStore* traces) {
+                                   obs::TraceStore* traces,
+                                   const control::Ratekeeper* ratekeeper,
+                                   const control::TokenBucketTable* buckets) {
   if (!request.valid) {
     return text_response(400, "bad request\n");
   }
@@ -385,6 +452,9 @@ HttpResponse route_gateway_request(const HttpRequest& request,
   }
   if (request.path == "/alerts") {
     return handle_alerts(link, slo);
+  }
+  if (request.path == "/ratekeeper") {
+    return handle_ratekeeper(ratekeeper, buckets);
   }
   if (request.path == "/stats") {
     return json_response(200, service_stats_json(link.stats()));
@@ -411,7 +481,9 @@ PlatformGateway::PlatformGateway(engine::GatewayLink& link,
       registry_(registry),
       trace_(trace),
       slo_(config.slo),
-      traces_(config.traces) {
+      traces_(config.traces),
+      ratekeeper_(config.ratekeeper),
+      buckets_(config.buckets) {
   if (registry_ != nullptr) {
     submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
                                             obs::default_time_bounds());
@@ -432,14 +504,14 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
     const Stopwatch submit_watch;
     obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_);
+                                     traces_, ratekeeper_, buckets_);
     span.stop();
     if (slo_ != nullptr) {
       slo_->observe_submit(link_.sim_time_hours(), submit_watch.seconds());
     }
   } else {
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_);
+                                     traces_, ratekeeper_, buckets_);
   }
   if (registry_ != nullptr) {
     registry_

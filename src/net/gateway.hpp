@@ -12,6 +12,9 @@
 //                       (16-hex trace id from /submit), 404 unknown /
 //                       unsampled, 404 when tracing is off
 //   GET  /alerts     -> 200 flat JSON burn-rate state of every SLO rule
+//   GET  /ratekeeper -> 200 flat JSON admission-controller state: global
+//                       rate, limiting signal, per-client buckets; 404
+//                       when the Ratekeeper is disabled
 //   GET  /stats      -> 200 flat JSON: queue depth, round cadence,
 //                       cumulative regret, task-state counts
 //   GET  /metrics    -> 200 Prometheus exposition of the shared registry
@@ -35,6 +38,8 @@
 #include <string>
 #include <string_view>
 
+#include "control/ratekeeper.hpp"
+#include "control/token_bucket.hpp"
 #include "engine/service.hpp"
 #include "net/http.hpp"
 #include "net/http_server.hpp"
@@ -53,13 +58,17 @@ struct SubmitParse {
   std::string error;  // human-readable, echoed in the 400 body
   sim::TaskDescriptor task;
   double deadline_hours = 0.0;
+  /// Rate-limiting identity ("client" field); empty = anonymous bucket.
+  std::string client;
 };
 
 /// Parses and validates a flat-JSON task submission. Accepted fields:
 /// family ("cnn"|"transformer"|"rnn"|"mlp", required), dataset
 /// ("cifar-10"|"imagenet"|"europarl"), depth, width, batch_size,
-/// dataset_fraction, deadline_hours. Unknown fields are rejected so
-/// client typos fail loudly instead of silently running defaults.
+/// dataset_fraction, deadline_hours, client (<= 64 chars of
+/// [A-Za-z0-9._-], names the token bucket the submit is charged to).
+/// Unknown fields are rejected so client typos fail loudly instead of
+/// silently running defaults.
 [[nodiscard]] SubmitParse parse_submit_body(std::string_view body);
 
 /// Flat-JSON renderings (flat so the loadgen client can read them back
@@ -75,15 +84,25 @@ struct SubmitParse {
 /// _samples per rule plus now_hours and firing_total.
 [[nodiscard]] std::string slo_alerts_json(
     const std::vector<obs::SloState>& states, double now_hours);
+/// GET /ratekeeper body: controller status (rate, limiting signal,
+/// per-signal pressures, tick/decrease/recovery counts) plus one
+/// bN_client/bN_tokens/bN_rate_per_hour/bN_weight/bN_throttled group per
+/// resident bucket, name-sorted.
+[[nodiscard]] std::string ratekeeper_status_json(
+    const control::RatekeeperStatus& status,
+    const control::TokenBucketTable& buckets);
 
 /// Maps one parsed request to its response — the socket-free core of the
 /// gateway. `registry` backs GET /metrics and may be null (404 then);
-/// `slo` backs GET /alerts and `traces` GET /trace/<id>, both optional
-/// (404 when absent) so pre-existing call sites keep working unchanged.
+/// `slo` backs GET /alerts, `traces` GET /trace/<id>, and
+/// `ratekeeper`+`buckets` GET /ratekeeper — all optional (404 when
+/// absent) so pre-existing call sites keep working unchanged.
 [[nodiscard]] HttpResponse route_gateway_request(
     const HttpRequest& request, engine::GatewayLink& link,
     obs::MetricsRegistry* registry, obs::SloMonitor* slo = nullptr,
-    obs::TraceStore* traces = nullptr);
+    obs::TraceStore* traces = nullptr,
+    const control::Ratekeeper* ratekeeper = nullptr,
+    const control::TokenBucketTable* buckets = nullptr);
 
 struct GatewayConfig {
   HttpServerConfig http;
@@ -93,6 +112,11 @@ struct GatewayConfig {
   /// Trace store behind GET /trace/<id>. Borrowed, optional; should be
   /// the same store the GatewayLink and engine write to.
   obs::TraceStore* traces = nullptr;
+  /// Admission controller + bucket table behind GET /ratekeeper (the
+  /// same objects the engine ticks and the link charges). Borrowed,
+  /// optional.
+  const control::Ratekeeper* ratekeeper = nullptr;
+  const control::TokenBucketTable* buckets = nullptr;
 };
 
 /// The running service: an HttpServer whose handler routes into `link`
@@ -128,6 +152,8 @@ class PlatformGateway {
   obs::TraceRing* trace_;
   obs::SloMonitor* slo_;
   obs::TraceStore* traces_;
+  const control::Ratekeeper* ratekeeper_;
+  const control::TokenBucketTable* buckets_;
   obs::Histogram* submit_seconds_ = nullptr;
   std::unique_ptr<HttpServer> server_;
 };

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
+#include "obs/sinks.hpp"
 #include "support/check.hpp"
 
 namespace mfcp::obs {
@@ -38,7 +42,115 @@ void bind_series(MetricsRegistry* registry, const char* sli, Gauge** value,
   *firing = &registry->gauge(slo_gauge_name("mfcp_slo_firing", sli));
 }
 
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
 }  // namespace
+
+std::optional<SloConfig> parse_slo_config(std::string_view text,
+                                          std::string* error) {
+  const auto fail = [error](std::string message) -> std::optional<SloConfig> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  SloConfig config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("line " + std::to_string(line_no) +
+                  ": expected key=value");
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string raw(trim(line.substr(eq + 1)));
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end != raw.c_str() + raw.size() ||
+        !std::isfinite(value)) {
+      return fail("line " + std::to_string(line_no) + ": " + key +
+                  " needs a finite number, got \"" + raw + "\"");
+    }
+    if (key == "fast_window_hours") {
+      config.fast_window_hours = value;
+    } else if (key == "slow_window_hours") {
+      config.slow_window_hours = value;
+    } else if (key == "burn_threshold") {
+      config.burn_threshold = value;
+    } else if (key == "submit_latency_target_seconds") {
+      config.submit_latency_target_seconds = value;
+    } else if (key == "submit_latency_objective") {
+      config.submit_latency_objective = value;
+    } else if (key == "dispatch_success_objective") {
+      config.dispatch_success_objective = value;
+    } else if (key == "expiry_objective") {
+      config.expiry_objective = value;
+    } else if (key == "regret_gap_budget") {
+      config.regret_gap_budget = value;
+    } else {
+      return fail("line " + std::to_string(line_no) + ": unknown key \"" +
+                  key + "\"");
+    }
+  }
+  // The same invariants SloMonitor's constructor enforces, reported as a
+  // parse error instead of a contract failure.
+  if (!(config.fast_window_hours > 0.0 &&
+        config.slow_window_hours >= config.fast_window_hours)) {
+    return fail("SLO windows must be positive with slow >= fast");
+  }
+  if (!(config.burn_threshold > 0.0)) {
+    return fail("burn_threshold must be positive");
+  }
+  if (!(config.regret_gap_budget > 0.0)) {
+    return fail("regret_gap_budget must be positive");
+  }
+  for (const double objective :
+       {config.submit_latency_objective, config.dispatch_success_objective,
+        config.expiry_objective}) {
+    if (!(objective >= 0.0 && objective < 1.0)) {
+      return fail("objectives must lie in [0, 1)");
+    }
+  }
+  return config;
+}
+
+std::optional<SloConfig> load_slo_config(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open SLO config: " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_slo_config(text.str(), error);
+}
 
 SloMonitor::SloMonitor(SloConfig config) : config_(config) {
   MFCP_CHECK(config_.fast_window_hours > 0.0 &&
@@ -193,7 +305,33 @@ std::vector<SloState> SloMonitor::evaluate(double now_hours) {
       s.firing_gauge->set(states[i].firing ? 1.0 : 0.0);
     }
   }
+  for (const SloState& state : states) {
+    bool& previous = firing_state_[state.sli];  // default-inserts false
+    if (state.firing == previous) {
+      continue;
+    }
+    previous = state.firing;
+    if (alert_log_ == nullptr) {
+      continue;
+    }
+    alert_log_->field("t_hours", now_hours)
+        .field("sli", state.sli)
+        .field("event", state.firing ? std::string_view("fire")
+                                     : std::string_view("resolve"))
+        .field("value", state.value)
+        .field("budget", state.budget)
+        .field("fast_burn", state.fast_burn)
+        .field("slow_burn", state.slow_burn)
+        .field("samples", state.samples);
+    alert_log_->end_record();
+    alert_log_->flush();
+  }
   return states;
+}
+
+void SloMonitor::set_alert_log(JsonlWriter* log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alert_log_ = log;
 }
 
 std::string slo_summary_table(const std::vector<SloState>& states) {

@@ -31,13 +31,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace mfcp::obs {
+
+class JsonlWriter;
 
 struct SloConfig {
   double fast_window_hours = 5.0 / 60.0;  // 5 simulated minutes
@@ -61,6 +66,18 @@ struct SloConfig {
   /// (per-task makespan units). Burn = mean / budget.
   double regret_gap_budget = 0.5;
 };
+
+/// Parses a key=value SLO config (one pair per line, '#' comments, blank
+/// lines ignored). Keys mirror the SloConfig field names; values are
+/// decimal numbers. Unknown keys, unparsable values, and constraint
+/// violations (the same ones SloMonitor's constructor enforces) return
+/// nullopt with a human-readable message in `*error`.
+[[nodiscard]] std::optional<SloConfig> parse_slo_config(
+    std::string_view text, std::string* error);
+
+/// parse_slo_config over a file's contents (the --slo-config flag).
+[[nodiscard]] std::optional<SloConfig> load_slo_config(
+    const std::string& path, std::string* error);
 
 /// One SLI's evaluated state.
 struct SloState {
@@ -100,6 +117,12 @@ class SloMonitor {
   /// dispatch_success, expiry, regret_gap).
   std::vector<SloState> evaluate(double now_hours);
 
+  /// Append-only JSONL alert delivery: every evaluate() writes one record
+  /// per rule whose firing state *changed* (event "fire"/"resolve") —
+  /// transitions only, so a melting platform does not flood the log.
+  /// Borrowed; null detaches. Flushed per transition so `tail -f` works.
+  void set_alert_log(JsonlWriter* log);
+
   [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
 
  private:
@@ -132,6 +155,8 @@ class SloMonitor {
   Series dispatch_;
   Series expiry_;
   Series regret_;
+  JsonlWriter* alert_log_ = nullptr;          // guarded by mutex_
+  std::map<std::string, bool> firing_state_;  // per-SLI, for transitions
 };
 
 /// Fixed-width end-of-run table over evaluate()'s result (bench/example

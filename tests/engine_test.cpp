@@ -524,6 +524,83 @@ TEST(Engine, JournalIsBitIdenticalAcrossSeededRuns) {
   EXPECT_EQ(first.rfind("{\"round\":0,\"close_hours\":", 0), 0u);
 }
 
+TEST(Engine, RatekeeperThrottlesOverloadAndConservesAccounting) {
+  // Arrivals far above the admission rate: the anonymous bucket must
+  // throttle most of the stream at the door, and everything that does
+  // get in must still be fully accounted for.
+  EngineFixture f;
+  EngineConfig cfg = small_engine_config();
+  cfg.arrivals.rate_per_hour = 240.0;
+  cfg.arrivals.max_arrivals = 80;
+  control::RatekeeperConfig rk_cfg;
+  rk_cfg.initial_rate_per_hour = 30.0;
+  control::Ratekeeper ratekeeper(rk_cfg);
+  control::TokenBucketTable buckets;
+  cfg.ratekeeper = &ratekeeper;
+  cfg.admission_buckets = &buckets;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  const EngineResult result = eng.run();
+
+  EXPECT_GT(result.throttled, 0u);
+  EXPECT_EQ(result.throttled, buckets.throttled_total());
+  EXPECT_EQ(result.counters.arrivals, cfg.arrivals.max_arrivals);
+  // Throttled arrivals never reach the queue; admitted ones all
+  // terminate in dispatched / dropped / expired.
+  EXPECT_EQ(result.queue.offered + result.throttled,
+            static_cast<std::size_t>(cfg.arrivals.max_arrivals));
+  EXPECT_EQ(result.queue.dispatched + result.queue.dropped_capacity +
+                result.queue.expired,
+            result.queue.offered);
+  // Every round carries the controller's published state.
+  for (const auto& r : result.rounds) {
+    EXPECT_TRUE(r.ratekeeper_valid);
+    EXPECT_GT(r.admission_rate_per_hour, 0.0);
+  }
+}
+
+TEST(Engine, RatekeeperJournalIsByteIdenticalAcrossSeededRuns) {
+  const auto journal_run = [] {
+    EngineFixture f;
+    std::ostringstream out;
+    obs::JsonlWriter journal(out);
+    EngineConfig cfg = small_engine_config();
+    cfg.journal = &journal;
+    cfg.arrivals.rate_per_hour = 240.0;
+    cfg.arrivals.max_arrivals = 80;
+    control::RatekeeperConfig rk_cfg;
+    rk_cfg.initial_rate_per_hour = 30.0;
+    control::Ratekeeper ratekeeper(rk_cfg);
+    control::TokenBucketTable buckets;
+    cfg.ratekeeper = &ratekeeper;
+    cfg.admission_buckets = &buckets;
+    OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+    eng.run();
+    return out.str();
+  };
+  // Admission decisions ride on the simulated clock only, so the full
+  // journal — ratekeeper fields included — must replay byte for byte.
+  const std::string first = journal_run();
+  const std::string second = journal_run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"admission_rate\":"), std::string::npos);
+  EXPECT_NE(first.find("\"limiting_signal\":"), std::string::npos);
+  EXPECT_NE(first.find("\"throttled_total\":"), std::string::npos);
+}
+
+TEST(Engine, JournalWithoutRatekeeperCarriesNoRatekeeperFields) {
+  // The ratekeeper fields are gated, so pre-existing journal consumers
+  // (and the CI baseline diffs) see byte-identical records without it.
+  std::ostringstream out;
+  obs::JsonlWriter journal(out);
+  EngineFixture f;
+  EngineConfig cfg = small_engine_config();
+  cfg.journal = &journal;
+  OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+  eng.run();
+  EXPECT_EQ(out.str().find("admission_rate"), std::string::npos);
+}
+
 TEST(Engine, JournalLabelTagsTheRun) {
   std::ostringstream out;
   obs::JsonlWriter journal(out);

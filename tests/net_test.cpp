@@ -146,6 +146,33 @@ TEST(SubmitBody, DefaultsApplyWhenFieldsOmitted) {
   EXPECT_EQ(p.deadline_hours, 0.0);  // "use the link's default"
 }
 
+TEST(SubmitBody, ParsesClientIdentity) {
+  const SubmitParse p = parse_submit_body(
+      "{\"family\":\"cnn\",\"client\":\"team-a.batch_7\"}");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.client, "team-a.batch_7");
+  // Absent client -> empty string -> the link's anonymous bucket.
+  EXPECT_TRUE(parse_submit_body("{\"family\":\"cnn\"}").client.empty());
+}
+
+TEST(SubmitBody, RejectsBadClientIdentity) {
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"client\":\"\"}").ok);
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"client\":\"a b\"}").ok);
+  EXPECT_FALSE(
+      parse_submit_body("{\"family\":\"cnn\",\"client\":\"a/b\"}").ok);
+  EXPECT_FALSE(parse_submit_body("{\"family\":\"cnn\",\"client\":7}").ok);
+  const std::string long_name(65, 'x');
+  EXPECT_FALSE(parse_submit_body("{\"family\":\"cnn\",\"client\":\"" +
+                                 long_name + "\"}")
+                   .ok);
+  // 64 chars of the allowed charset is the inclusive limit.
+  EXPECT_TRUE(parse_submit_body("{\"family\":\"cnn\",\"client\":\"" +
+                                std::string(64, 'x') + "\"}")
+                  .ok);
+}
+
 TEST(SubmitBody, RejectsBadInput) {
   EXPECT_FALSE(parse_submit_body("not json").ok);
   EXPECT_FALSE(parse_submit_body("{}").ok);  // family required
@@ -249,8 +276,9 @@ TEST(GatewayRoute, BackpressureIs429WithDeterministicRetryAfter) {
   engine::GatewayLinkConfig cfg;
   cfg.high_water = 2;
   engine::GatewayLink link(cfg);
-  // A known drain rate makes the advised backoff exactly predictable:
-  // 1 task over the high-water mark, 4 tasks per round, 2 s per round.
+  // A known drain rate makes the advised backoff exactly predictable
+  // through the shared replenish formula: 1 task of excess draining at
+  // 4 tasks per 2 s round = 0.5 s, floored at the 1 s minimum.
   link.configure_drain(/*round_batch=*/4, /*expected_round_seconds=*/2.0);
 
   const std::string body = "{\"family\":\"mlp\"}";
@@ -267,11 +295,87 @@ TEST(GatewayRoute, BackpressureIs429WithDeterministicRetryAfter) {
   ASSERT_EQ(rejected.status, 429);
   ASSERT_EQ(rejected.headers.size(), 1u);
   EXPECT_EQ(rejected.headers[0].first, "Retry-After");
-  EXPECT_EQ(rejected.headers[0].second, "2");  // ceil(1/4 rounds) * 2 s
+  EXPECT_EQ(rejected.headers[0].second, "1");
+  // A pressure shed is not a rate-limit: the body says so.
+  EXPECT_NE(rejected.body.find("\"throttled\":false"), std::string::npos);
 
   const engine::ServiceStats stats = link.stats();
   EXPECT_EQ(stats.submitted, 2u);
   EXPECT_EQ(stats.rejected_busy, 1u);
+  EXPECT_EQ(stats.rejected_throttled, 0u);
+}
+
+TEST(GatewayRoute, RetryAfterIsMonotoneInPressure) {
+  engine::GatewayLink link;
+  link.configure_drain(/*round_batch=*/4, /*expected_round_seconds=*/2.0);
+  double prev = 0.0;
+  for (std::size_t pressure = 48; pressure <= 480; pressure += 48) {
+    const double s = link.retry_after_seconds(pressure);
+    EXPECT_GE(s, prev);  // deeper backlog never advises a shorter wait
+    prev = s;
+  }
+  EXPECT_LE(prev, 3600.0);
+}
+
+TEST(GatewayRoute, DryBucketThrottlesWithHonestRetryAfter) {
+  control::TokenBucketConfig bucket_cfg;
+  bucket_cfg.min_burst_tokens = 1.0;
+  bucket_cfg.burst_hours = 1e-4;  // capacity == 1 token
+  control::TokenBucketTable buckets(bucket_cfg);
+  buckets.set_global_rate(10.0, 0.0);
+  engine::GatewayLinkConfig cfg;
+  cfg.buckets = &buckets;
+  engine::GatewayLink link(cfg);
+
+  const std::string body = "{\"family\":\"mlp\",\"client\":\"alice\"}";
+  EXPECT_EQ(route_gateway_request(make_request("POST", "/submit", body),
+                                  link, nullptr)
+                .status,
+            200);
+  const HttpResponse throttled = route_gateway_request(
+      make_request("POST", "/submit", body), link, nullptr);
+  ASSERT_EQ(throttled.status, 429);
+  EXPECT_NE(throttled.body.find("\"throttled\":true"), std::string::npos);
+  ASSERT_EQ(throttled.headers.size(), 1u);
+  EXPECT_EQ(throttled.headers[0].first, "Retry-After");
+  EXPECT_GE(std::atoi(throttled.headers[0].second.c_str()), 1);
+
+  // Buckets are per client: a different identity still has its burst.
+  EXPECT_EQ(route_gateway_request(
+                make_request("POST", "/submit",
+                             "{\"family\":\"mlp\",\"client\":\"bob\"}"),
+                link, nullptr)
+                .status,
+            200);
+
+  const engine::ServiceStats stats = link.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected_throttled, 1u);
+  EXPECT_EQ(stats.rejected_busy, 0u);
+}
+
+TEST(GatewayRoute, RatekeeperRouteServesStateOr404WhenDisabled) {
+  engine::GatewayLink link;
+  // Not wired: the route is absent, not empty.
+  EXPECT_EQ(
+      route_gateway_request(make_request("GET", "/ratekeeper"), link,
+                            nullptr)
+          .status,
+      404);
+
+  control::Ratekeeper ratekeeper;
+  control::TokenBucketTable buckets;
+  buckets.set_global_rate(100.0, 0.0);
+  buckets.try_admit("alice", 0.0);
+  const HttpResponse r = route_gateway_request(
+      make_request("GET", "/ratekeeper"), link, nullptr, nullptr, nullptr,
+      &ratekeeper, &buckets);
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(body_str(r.body, "limiting_signal"), "none");
+  EXPECT_GT(body_u64(r.body, "rate_per_hour"), 0u);
+  EXPECT_EQ(body_u64(r.body, "clients"), 1u);
+  EXPECT_EQ(body_str(r.body, "b0_client"), "alice");
+  EXPECT_EQ(body_u64(r.body, "b0_admitted"), 1u);
 }
 
 TEST(GatewayRoute, DrainingLinkRejectsNewWork) {
@@ -662,6 +766,124 @@ TEST(GatewayLive, EndToEndConservationAndForwardOnlyStatus) {
     }
   }
   EXPECT_TRUE(saw_submit_counter);
+}
+
+TEST(GatewayLive, ThrottledServeModeStillConservesAcceptedWork) {
+  // Serve mode behind an almost-closed Ratekeeper: most submits bounce
+  // off their token bucket with a throttled 429, yet every task that was
+  // accepted must still terminate in exactly one lifecycle state, and
+  // the client-side and server-side throttle ledgers must agree.
+  sim::Platform platform =
+      sim::Platform::make_setting(sim::Setting::kA, 3);
+  sim::PseudoGnnEmbedder embedder;
+  core::PredictorConfig pcfg;
+  pcfg.hidden = {8};
+  Rng init(99);
+  core::PlatformPredictor predictor(3, pcfg, init);
+
+  control::RatekeeperConfig rk_cfg;
+  rk_cfg.initial_rate_per_hour = 0.01;
+  rk_cfg.min_rate_per_hour = 0.01;
+  rk_cfg.max_rate_per_hour = 0.02;  // recovery can never open the gate
+  control::Ratekeeper ratekeeper(rk_cfg);
+  control::TokenBucketTable buckets;
+
+  engine::EngineConfig cfg;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait_hours = 0.1;
+  cfg.gamma = 0.6;
+  cfg.online_retraining = false;
+  cfg.eval.solver.max_iterations = 150;
+  cfg.ratekeeper = &ratekeeper;
+  cfg.admission_buckets = &buckets;
+  engine::OnlineEngine eng(cfg, platform, embedder, predictor);
+
+  engine::GatewayLinkConfig link_cfg;
+  link_cfg.buckets = &buckets;
+  engine::GatewayLink link(link_cfg);
+  GatewayConfig gateway_cfg;
+  gateway_cfg.ratekeeper = &ratekeeper;
+  gateway_cfg.buckets = &buckets;
+  PlatformGateway gateway(link, nullptr, nullptr, gateway_cfg);
+
+  engine::ServeConfig serve_cfg;
+  serve_cfg.hours_per_second = 120.0;
+  serve_cfg.poll_ms = 5;
+  engine::EngineResult result;
+  std::thread engine_thread(
+      [&] { result = eng.serve(link, serve_cfg); });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> throttled{0};
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        // Three identities across four threads: buckets shared and not.
+        const std::string body = "{\"family\":\"cnn\",\"deadline_hours\":"
+                                 "200,\"client\":\"tenant-" +
+                                 std::to_string(t % 3) + "\"}";
+        for (int k = 0; k < kPerThread; ++k) {
+          const ClientResponse r = http_call(
+              "127.0.0.1", gateway.port(), "POST", "/submit", body);
+          ASSERT_TRUE(r.ok) << r.error;
+          if (r.status == 200) {
+            accepted.fetch_add(1);
+          } else {
+            ASSERT_EQ(r.status, 429);
+            // Every rejection here is a rate limit, not queue pressure.
+            EXPECT_NE(r.body.find("\"throttled\":true"),
+                      std::string::npos);
+            EXPECT_FALSE(r.header("retry-after").empty());
+            throttled.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : submitters) {
+      t.join();
+    }
+  }
+  ASSERT_GT(accepted.load(), 0u);  // a fresh bucket's burst always admits
+  EXPECT_GT(throttled.load(), 0u);
+
+  // The debug route serves the same ledger over the wire.
+  const ClientResponse rk_view =
+      http_call("127.0.0.1", gateway.port(), "GET", "/ratekeeper");
+  ASSERT_TRUE(rk_view.ok);
+  ASSERT_EQ(rk_view.status, 200);
+  EXPECT_EQ(body_u64(rk_view.body, "throttled_total"), throttled.load());
+
+  // Wait for everything accepted to reach a terminal state, then drain.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const engine::TaskStatusTable::Counts counts = link.stats().tasks;
+    if (counts.queued == 0 && counts.matched == 0 &&
+        link.stats().inbox_depth == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  link.request_stop();
+  engine_thread.join();
+  gateway.stop();
+
+  const engine::ServiceStats stats = link.stats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.rejected_throttled, throttled.load());
+  EXPECT_EQ(stats.rejected_busy, 0u);
+  EXPECT_EQ(stats.tasks.queued, 0u);
+  EXPECT_EQ(stats.tasks.matched, 0u);
+  EXPECT_EQ(stats.tasks.dispatched + stats.tasks.expired +
+                stats.tasks.rejected,
+            accepted.load());
+  // No synthetic stream: the engine saw exactly the accepted submissions,
+  // and the bucket table's ledger matches the link's.
+  EXPECT_EQ(result.counters.arrivals, accepted.load());
+  EXPECT_EQ(buckets.throttled_total(), throttled.load());
 }
 
 }  // namespace

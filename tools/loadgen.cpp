@@ -52,6 +52,10 @@ struct Options {
   double drain_seconds = 15.0;
   int timeout_ms = 5000;
   std::uint64_t seed = 0x10adULL;
+  /// Distinct client identities to spread submissions across (worker w
+  /// submits as "client-<w mod clients>"). 0 = no client field, so every
+  /// submission lands in the gateway's anonymous bucket.
+  int clients = 0;
 };
 
 /// One accepted submit, kept so the report can attribute its slowest
@@ -66,6 +70,7 @@ struct WorkerStats {
   std::uint64_t requests = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected_429 = 0;
+  std::uint64_t throttled_429 = 0;  // the rate-limited subset of the 429s
   std::uint64_t http_other = 0;
   std::uint64_t transport_errors = 0;
   std::vector<double> latencies_ms;
@@ -73,7 +78,7 @@ struct WorkerStats {
   std::vector<AcceptedSample> accepted_samples;
 };
 
-std::string random_task_body(mfcp::Rng& rng) {
+std::string random_task_body(mfcp::Rng& rng, const std::string& client) {
   static const char* kFamilies[] = {"cnn", "transformer", "rnn", "mlp"};
   const std::uint64_t f = rng.uniform_index(4);
   // Family/dataset pairings mirror the simulator: CV models on image
@@ -84,23 +89,35 @@ std::string random_task_body(mfcp::Rng& rng) {
   } else if (rng.bernoulli(0.3)) {
     dataset = "imagenet";
   }
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "{\"family\":\"%s\",\"dataset\":\"%s\",\"depth\":%d,"
-                "\"width\":%d,\"batch_size\":%d,\"dataset_fraction\":%.2f}",
+                "\"width\":%d,\"batch_size\":%d,\"dataset_fraction\":%.2f",
                 kFamilies[f], dataset,
                 static_cast<int>(2 + rng.uniform_index(30)),
                 static_cast<int>(32 + 32 * rng.uniform_index(16)),
                 static_cast<int>(16 + 16 * rng.uniform_index(16)),
                 0.1 + 0.9 * rng.uniform());
-  return buf;
+  std::string body = buf;
+  if (!client.empty()) {
+    body += ",\"client\":\"" + client + "\"";
+  }
+  body += "}";
+  return body;
 }
 
-void submit_loop(const Options& opt, Clock::time_point t0,
+void submit_loop(const Options& opt, int worker, Clock::time_point t0,
                  std::atomic<std::uint64_t>& ticket, mfcp::Rng rng,
                  WorkerStats& stats) {
   const auto deadline =
       t0 + std::chrono::duration<double>(opt.duration_seconds);
+  // Stable per-worker identity: with --clients K the workers cycle
+  // through client-0 .. client-(K-1), exercising the gateway's per-client
+  // token buckets.
+  std::string client;
+  if (opt.clients > 0) {
+    client = "client-" + std::to_string(worker % opt.clients);
+  }
   for (;;) {
     if (opt.rate > 0.0) {
       // Shared open-loop schedule: ticket i fires at t0 + i/rate.
@@ -117,7 +134,7 @@ void submit_loop(const Options& opt, Clock::time_point t0,
       return;
     }
 
-    const std::string body = random_task_body(rng);
+    const std::string body = random_task_body(rng, client);
     const auto start = Clock::now();
     const mfcp::net::ClientResponse r =
         mfcp::net::http_call(opt.host, static_cast<std::uint16_t>(opt.port),
@@ -153,6 +170,15 @@ void submit_loop(const Options& opt, Clock::time_point t0,
       }
     } else if (r.status == 429) {
       ++stats.rejected_429;
+      const auto fields = mfcp::net::parse_json_object(r.body);
+      if (fields.has_value()) {
+        const auto it = fields->find("throttled");
+        if (it != fields->end() &&
+            it->second.kind == mfcp::net::JsonValue::Kind::kBool &&
+            it->second.boolean) {
+          ++stats.throttled_429;
+        }
+      }
       // Honor a fraction of the advised backoff so a saturated platform
       // is not hammered at full closed-loop speed, while still probing
       // recovery faster than a compliant client would.
@@ -193,7 +219,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --port P [--host H] [--concurrency N] [--rate R]\n"
       "          [--duration-seconds S] [--drain-seconds S]\n"
-      "          [--timeout-ms MS] [--seed N]\n",
+      "          [--timeout-ms MS] [--seed N] [--clients K]\n",
       argv0);
   return 2;
 }
@@ -220,11 +246,14 @@ int main(int argc, char** argv) {
       opt.timeout_ms = std::atoi(argv[++k]);
     } else if (std::strcmp(argv[k], "--seed") == 0 && k + 1 < argc) {
       opt.seed = std::strtoull(argv[++k], nullptr, 10);
+    } else if (std::strcmp(argv[k], "--clients") == 0 && k + 1 < argc) {
+      opt.clients = std::atoi(argv[++k]);
     } else {
       return usage(argv[0]);
     }
   }
-  if (opt.port <= 0 || opt.port > 65535 || opt.concurrency < 1) {
+  if (opt.port <= 0 || opt.port > 65535 || opt.concurrency < 1 ||
+      opt.clients < 0) {
     return usage(argv[0]);
   }
 
@@ -240,8 +269,9 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> ticket{0};
   const auto t0 = Clock::now();
   for (int w = 0; w < opt.concurrency; ++w) {
-    workers.emplace_back(submit_loop, std::cref(opt), t0, std::ref(ticket),
-                         root.split(), std::ref(per_worker[w]));
+    workers.emplace_back(submit_loop, std::cref(opt), w, t0,
+                         std::ref(ticket), root.split(),
+                         std::ref(per_worker[w]));
   }
   for (std::thread& t : workers) {
     t.join();
@@ -254,6 +284,7 @@ int main(int argc, char** argv) {
     total.requests += w.requests;
     total.accepted += w.accepted;
     total.rejected_429 += w.rejected_429;
+    total.throttled_429 += w.throttled_429;
     total.http_other += w.http_other;
     total.transport_errors += w.transport_errors;
     total.latencies_ms.insert(total.latencies_ms.end(),
@@ -267,10 +298,11 @@ int main(int argc, char** argv) {
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
 
   std::printf("loadgen: requests=%" PRIu64 " accepted=%" PRIu64
-              " rejected_429=%" PRIu64 " http_other=%" PRIu64
-              " transport_errors=%" PRIu64 "\n",
+              " rejected_429=%" PRIu64 " throttled_429=%" PRIu64
+              " http_other=%" PRIu64 " transport_errors=%" PRIu64 "\n",
               total.requests, total.accepted, total.rejected_429,
-              total.http_other, total.transport_errors);
+              total.throttled_429, total.http_other,
+              total.transport_errors);
   std::printf("loadgen: achieved_qps=%.2f\n",
               elapsed > 0.0 ? static_cast<double>(total.requests) / elapsed
                             : 0.0);
