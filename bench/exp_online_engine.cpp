@@ -36,6 +36,16 @@
 //           limiting_signal per round. Admission decisions ride on the
 //           simulated clock only, so two seeded --ratekeeper runs still
 //           produce byte-identical journals (the CI guard compares them).
+//       ./build/bench/exp_online_engine --flight
+//           attaches a black-box flight recorder to both mode runs
+//           (engine events + process default for pool/ratekeeper events).
+//           The recorder is write-only telemetry, so the round journal
+//           stays byte-identical with it on — the CI determinism guard
+//           compares a --flight journal against the plain baseline.
+//       ./build/bench/exp_online_engine --bench-json <path>
+//           writes a one-record machine-readable summary (rounds/s per
+//           mode, stage latency p50/p99, mean regret-attribution terms,
+//           telemetry + flight overhead percentages) for CI archiving.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -47,7 +57,9 @@
 #include "control/token_bucket.hpp"
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
+#include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_store.hpp"
 #include "nn/serialize.hpp"
@@ -143,7 +155,8 @@ double mean_regret_after(const std::vector<engine::RoundRecord>& rounds,
 double timed_run(const Scenario& scenario,
                  core::PlatformPredictor& pretrained,
                  const engine::EngineConfig& base_cfg, ThreadPool& pool,
-                 obs::MetricsRegistry* registry, obs::TraceRing* trace) {
+                 obs::MetricsRegistry* registry, obs::TraceRing* trace,
+                 obs::FlightRecorder* flight = nullptr) {
   Rng clone_init(0x5eedULL);
   core::PredictorConfig pred_cfg;
   core::PlatformPredictor predictor(pretrained.num_clusters(), pred_cfg,
@@ -168,11 +181,21 @@ double timed_run(const Scenario& scenario,
     cfg.trace_sample_rate = 0.25;
     cfg.slo = &slo;
   }
+  // The flight arm prices the whole recorder path: engine events via the
+  // explicit config pointer plus pool heartbeats / ratekeeper events via
+  // the process-wide default.
+  cfg.flight = flight;
+  if (flight != nullptr) {
+    obs::set_default_flight(flight);
+  }
   obs::set_default_registry(registry);
   engine::OnlineEngine eng(cfg, scenario.platform, scenario.embedder,
                            predictor, &pool);
   const engine::EngineResult result = eng.run();
   obs::set_default_registry(nullptr);
+  if (flight != nullptr) {
+    obs::set_default_flight(nullptr);
+  }
   return result.wall_seconds;
 }
 
@@ -182,24 +205,31 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool journal_enabled = false;
   bool ratekeeper_enabled = false;
+  bool flight_enabled = false;
   std::string journal_path = "online_engine.jsonl";
+  std::string bench_json_path;
   double trace_sample = 0.0;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[k], "--ratekeeper") == 0) {
       ratekeeper_enabled = true;
+    } else if (std::strcmp(argv[k], "--flight") == 0) {
+      flight_enabled = true;
     } else if (std::strcmp(argv[k], "--journal") == 0) {
       journal_enabled = true;
       if (k + 1 < argc && argv[k + 1][0] != '-') {
         journal_path = argv[++k];
       }
+    } else if (std::strcmp(argv[k], "--bench-json") == 0 && k + 1 < argc) {
+      bench_json_path = argv[++k];
     } else if (std::strcmp(argv[k], "--trace-sample") == 0 && k + 1 < argc) {
       trace_sample = std::strtod(argv[++k], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--journal [path]] "
-                   "[--trace-sample <rate>] [--ratekeeper]\n",
+                   "[--trace-sample <rate>] [--ratekeeper] [--flight] "
+                   "[--bench-json <path>]\n",
                    argv[0]);
       return 2;
     }
@@ -254,6 +284,15 @@ int main(int argc, char** argv) {
               scenario.platform.cluster(drift_cluster).name().c_str(),
               drift_at);
 
+  // Black-box recorder for the --flight runs, attached both explicitly
+  // (engine events) and as the process default (pool heartbeats,
+  // ratekeeper events). Declared before the pool so workers quiesce
+  // before the rings go away.
+  std::unique_ptr<obs::FlightRecorder> flight_rec;
+  if (flight_enabled) {
+    flight_rec = std::make_unique<obs::FlightRecorder>();
+    obs::set_default_flight(flight_rec.get());
+  }
   ThreadPool pool;
   std::unique_ptr<obs::JsonlWriter> journal;
   // Spans are wall-clock and would break the byte-stable journal diff, so
@@ -284,6 +323,12 @@ int main(int argc, char** argv) {
              "drift_stat", "retrained", "retrain_total", "pred_gap",
              "solver_gap", "rounding_gap", "admission_gap"});
   double post_drift_regret[2] = {0.0, 0.0};
+  // Per-mode facts the --bench-json summary reports.
+  double mode_wall_seconds[2] = {0.0, 0.0};
+  std::size_t mode_rounds[2] = {0, 0};
+  double mode_pred_gap[2] = {0.0, 0.0};
+  double mode_solver_gap[2] = {0.0, 0.0};
+  double mode_rounding_gap[2] = {0.0, 0.0};
   std::size_t mode_index = 0;
 
   for (const auto& [label, online] : modes) {
@@ -297,6 +342,7 @@ int main(int argc, char** argv) {
     run_cfg.trace = trace_ring.get();
     run_cfg.task_traces = task_traces.get();
     run_cfg.trace_sample_rate = trace_sample;
+    run_cfg.flight = flight_rec.get();
     obs::SloMonitor slo;
     run_cfg.slo = &slo;
     // Fresh controller + bucket per mode so the two arms stay a paired
@@ -378,6 +424,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.throttled));
     }
 
+    mode_wall_seconds[mode_index] = watch.seconds();
+    mode_rounds[mode_index] = result.counters.rounds;
+    mode_pred_gap[mode_index] = pred_gap.mean();
+    mode_solver_gap[mode_index] = solver_gap.mean();
+    mode_rounding_gap[mode_index] = rounding_gap.mean();
     post_drift_regret[mode_index++] =
         mean_regret_after(result.rounds, drift_at);
     std::printf(
@@ -421,12 +472,27 @@ int main(int argc, char** argv) {
     std::printf("task traces written to %s.tasktraces (%zu records)\n",
                 journal_path.c_str(), tasktraces_out->records_written());
   }
+  if (flight_rec != nullptr) {
+    // Detach the process default before the overhead measurement below so
+    // its "off" arm really runs recorder-free.
+    obs::set_default_flight(nullptr);
+    std::printf("flight recorder: %llu events (%llu dropped) across %zu "
+                "threads\n",
+                static_cast<unsigned long long>(flight_rec->events_total()),
+                static_cast<unsigned long long>(flight_rec->dropped_total()),
+                flight_rec->threads_registered());
+  }
 
   // Telemetry overhead: the same frozen-mode engine with instrumentation
   // fully off vs fully on, interleaved, best-of-N each to shed scheduler
   // noise. The budget is 5% (ISSUE acceptance criterion); disabled
   // instrumentation is a null-pointer check, enabled instrumentation is
   // sharded atomics plus a steady-clock read per stage.
+  double telemetry_overhead_pct = 0.0;
+  double flight_overhead_pct = 0.0;
+  double flight_off_best = 0.0;
+  double flight_on_best = 0.0;
+  obs::RegistrySnapshot stage_snapshot;
   {
     const engine::EngineConfig overhead_cfg =
         engine_config(false, drift_at, max_arrivals, drift_cluster);
@@ -444,17 +510,17 @@ int main(int argc, char** argv) {
       off_best = r == 0 ? off : std::min(off_best, off);
       on_best = r == 0 ? on : std::min(on_best, on);
     }
-    const double overhead_pct = 100.0 * (on_best - off_best) / off_best;
+    telemetry_overhead_pct = 100.0 * (on_best - off_best) / off_best;
     std::printf("telemetry overhead: off %.3fs vs on %.3fs (%+.1f%%, "
                 "budget 5%%)%s\n",
-                off_best, on_best, overhead_pct,
-                overhead_pct > 5.0 ? " — OVER BUDGET" : "");
+                off_best, on_best, telemetry_overhead_pct,
+                telemetry_overhead_pct > 5.0 ? " — OVER BUDGET" : "");
 
     // Stage latency quantiles from the instrumented run's histograms —
     // the same numbers a Prometheus scrape of /metrics would expose as
     // the _quantile gauges.
-    const obs::RegistrySnapshot snap = registry.snapshot();
-    for (const auto& h : snap.histograms) {
+    stage_snapshot = registry.snapshot();
+    for (const auto& h : stage_snapshot.histograms) {
       if (h.name.rfind("mfcp_engine_stage_seconds", 0) != 0 ||
           h.count == 0) {
         continue;
@@ -467,6 +533,90 @@ int main(int argc, char** argv) {
                   1e3 * obs::histogram_quantile(h, 0.99),
                   static_cast<unsigned long long>(h.count));
     }
+
+    // Flight-recorder overhead: both arms run the fully instrumented
+    // engine, one with the black box attached (rings + heartbeats + the
+    // process default). The recorder's budget is 2% — recording is a
+    // handful of relaxed atomic stores, so it should price well under the
+    // telemetry stack itself. One recorder serves every rep (rings
+    // overwrite), so no heartbeat slot churn between reps.
+    {
+      obs::FlightRecorder recorder;
+      for (int r = 0; r < reps; ++r) {
+        registry.reset();
+        const double off = timed_run(scenario, pretrained, overhead_cfg,
+                                     pool, &registry, &trace, nullptr);
+        registry.reset();
+        const double on = timed_run(scenario, pretrained, overhead_cfg,
+                                    pool, &registry, &trace, &recorder);
+        flight_off_best = r == 0 ? off : std::min(flight_off_best, off);
+        flight_on_best = r == 0 ? on : std::min(flight_on_best, on);
+      }
+      flight_overhead_pct =
+          100.0 * (flight_on_best - flight_off_best) / flight_off_best;
+      std::printf("flight overhead: off %.3fs vs on %.3fs (%+.1f%%, "
+                  "budget 2%%; %llu events recorded)%s\n",
+                  flight_off_best, flight_on_best, flight_overhead_pct,
+                  static_cast<unsigned long long>(recorder.events_total()),
+                  flight_overhead_pct > 2.0 ? " — OVER BUDGET" : "");
+    }
+  }
+
+  // Machine-readable one-record summary for CI archiving: throughput per
+  // mode, stage latency quantiles, mean regret-attribution terms, and the
+  // two overhead measurements.
+  if (!bench_json_path.empty()) {
+    obs::JsonlWriter summary(bench_json_path);
+    summary.field("record", std::string_view("bench_summary"))
+        .field("bench", std::string_view("exp_online_engine"))
+        .field("quick", quick)
+        .field("arrivals", static_cast<std::uint64_t>(max_arrivals));
+    const char* mode_names[2] = {"frozen", "online"};
+    for (std::size_t m = 0; m < 2; ++m) {
+      const std::string prefix = mode_names[m];
+      summary
+          .field(prefix + "_rounds",
+                 static_cast<std::uint64_t>(mode_rounds[m]))
+          .field(prefix + "_wall_seconds", mode_wall_seconds[m])
+          .field(prefix + "_rounds_per_second",
+                 mode_wall_seconds[m] > 0.0
+                     ? static_cast<double>(mode_rounds[m]) /
+                           mode_wall_seconds[m]
+                     : 0.0)
+          .field(prefix + "_post_drift_regret", post_drift_regret[m])
+          .field(prefix + "_pred_gap_mean", mode_pred_gap[m])
+          .field(prefix + "_solver_gap_mean", mode_solver_gap[m])
+          .field(prefix + "_rounding_gap_mean", mode_rounding_gap[m]);
+    }
+    for (const auto& h : stage_snapshot.histograms) {
+      if (h.name.rfind("mfcp_engine_stage_seconds", 0) != 0 ||
+          h.count == 0) {
+        continue;
+      }
+      // h.name carries the label inline: ...{stage="match"}.
+      const std::string::size_type at = h.name.find("stage=\"");
+      if (at == std::string::npos) {
+        continue;
+      }
+      const std::string::size_type begin = at + 7;
+      const std::string::size_type end = h.name.find('"', begin);
+      if (end == std::string::npos) {
+        continue;
+      }
+      const std::string stage = h.name.substr(begin, end - begin);
+      summary
+          .field("stage_" + stage + "_p50_ms",
+                 1e3 * obs::histogram_quantile(h, 0.5))
+          .field("stage_" + stage + "_p99_ms",
+                 1e3 * obs::histogram_quantile(h, 0.99));
+    }
+    summary.field("telemetry_overhead_pct", telemetry_overhead_pct)
+        .field("flight_off_seconds", flight_off_best)
+        .field("flight_on_seconds", flight_on_best)
+        .field("flight_overhead_pct", flight_overhead_pct);
+    summary.end_record();
+    summary.flush();
+    std::printf("bench summary written to %s\n", bench_json_path.c_str());
   }
 
   std::printf("\npost-drift rolling regret: frozen %.4f vs online %.4f\n",

@@ -56,6 +56,8 @@
 #include "engine/engine.hpp"
 #include "mfcp/trainer_tsm.hpp"
 #include "net/gateway.hpp"
+#include "obs/alert_webhook.hpp"
+#include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
@@ -92,8 +94,11 @@ int main(int argc, char** argv) {
   double hours_per_second = 60.0;
   double trace_sample = 0.0;  // task-lifecycle trace sampling rate [0,1]
   bool ratekeeper_on = false;
+  bool flight_on = false;
+  double stall_budget_seconds = 2.0;
   std::string slo_config_path;
   std::string alert_log_path;
+  std::string alert_webhook_url;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
       serve_port = std::atoi(argv[++k]);
@@ -115,6 +120,13 @@ int main(int argc, char** argv) {
       slo_config_path = argv[++k];
     } else if (std::strcmp(argv[k], "--alert-log") == 0 && k + 1 < argc) {
       alert_log_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--alert-webhook") == 0 && k + 1 < argc) {
+      alert_webhook_url = argv[++k];
+    } else if (std::strcmp(argv[k], "--flight") == 0) {
+      flight_on = true;
+    } else if (std::strcmp(argv[k], "--stall-budget-seconds") == 0 &&
+               k + 1 < argc) {
+      stall_budget_seconds = std::atof(argv[++k]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve-port N] [--linger-seconds S]\n"
@@ -122,7 +134,9 @@ int main(int argc, char** argv) {
                    "          [--sim-hours-per-second X] "
                    "[--trace-sample R]\n"
                    "          [--ratekeeper] [--slo-config FILE] "
-                   "[--alert-log FILE]\n",
+                   "[--alert-log FILE]\n"
+                   "          [--alert-webhook http://host:port/path]\n"
+                   "          [--flight] [--stall-budget-seconds S]\n",
                    argv[0]);
       return 2;
     }
@@ -219,6 +233,43 @@ int main(int argc, char** argv) {
     slo.set_alert_log(&*alert_log);
   }
 
+  // Webhook pager: each fire/resolve transition POSTed as JSON from a
+  // dedicated sender thread — delivery failures count, never block.
+  std::optional<obs::WebhookSender> webhook;
+  if (!alert_webhook_url.empty()) {
+    std::string webhook_err;
+    const auto webhook_cfg =
+        obs::parse_webhook_url(alert_webhook_url, &webhook_err);
+    if (!webhook_cfg.has_value()) {
+      std::fprintf(stderr, "--alert-webhook %s: %s\n",
+                   alert_webhook_url.c_str(), webhook_err.c_str());
+      return 2;
+    }
+    webhook.emplace(*webhook_cfg);
+    webhook->bind_metrics(&registry);
+    slo.set_alert_sink(&*webhook);
+    std::printf("alert webhook: POST %s\n", alert_webhook_url.c_str());
+  }
+
+  // Black-box flight recorder: per-thread event rings + stall watchdog +
+  // async-signal-safe crash dump, all writing to online_platform.flight.
+  // Declared before the thread pool so pool workers (which heartbeat via
+  // the process-wide default) quiesce before the recorder dies.
+  std::optional<obs::FlightRecorder> flight;
+  if (flight_on) {
+    obs::FlightConfig flight_cfg;
+    flight_cfg.stall_budget_seconds = stall_budget_seconds;
+    flight.emplace(flight_cfg);
+    flight->bind_metrics(&registry);
+    obs::set_default_flight(&*flight);
+    obs::install_crash_handlers(&*flight, "online_platform.flight");
+    flight->start_watchdog("online_platform.flight", &slo);
+    cfg.flight = &*flight;
+    std::printf("flight recorder armed: %zu-event rings, %.2fs stall "
+                "budget, crash dumps to online_platform.flight\n",
+                flight->config().ring_capacity, stall_budget_seconds);
+  }
+
   // Ratekeeper: the closed-loop admission controller plus the per-client
   // token buckets it drives. Initial rate is sized from the batcher (a
   // few full batches per timeout window) and the wait target leaves one
@@ -258,6 +309,14 @@ int main(int argc, char** argv) {
     gateway_cfg.traces = &task_traces;
     gateway_cfg.ratekeeper = ratekeeper.has_value() ? &*ratekeeper : nullptr;
     gateway_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
+    // /debug routes + per-worker heartbeats when the recorder is armed
+    // (observer declared before the gateway, so it outlives the server).
+    std::optional<obs::FlightServerObserver> http_observer;
+    if (flight.has_value()) {
+      gateway_cfg.flight = &*flight;
+      http_observer.emplace(&*flight, "gateway");
+      gateway_cfg.http.observer = &*http_observer;
+    }
     net::PlatformGateway gateway(link, &registry, &trace, gateway_cfg);
     // Resolution near the 50 ms submit-latency target instead of the
     // generic decade grid (safe here: nothing has observed into the
@@ -318,6 +377,12 @@ int main(int argc, char** argv) {
     // GET /metrics, so a scraper watches the run converge in real time.
     obs::HttpExporterConfig http_cfg;
     http_cfg.port = static_cast<std::uint16_t>(serve_port);
+    std::optional<obs::FlightServerObserver> http_observer;
+    if (flight.has_value()) {
+      http_cfg.flight = &*flight;
+      http_observer.emplace(&*flight, "exporter");
+      http_cfg.observer = &*http_observer;
+    }
     obs::HttpExporter exporter(
         [&registry] { return registry.snapshot(); }, http_cfg);
     std::printf("exporter listening on http://127.0.0.1:%u\n",
@@ -387,6 +452,32 @@ int main(int argc, char** argv) {
     alert_log->flush();
     std::printf("alert log: %s (%zu transitions)\n", alert_log_path.c_str(),
                 alert_log->records_written());
+  }
+  if (webhook.has_value()) {
+    // Detach the sink before draining so the sender can quiesce without
+    // racing new transitions, then give in-flight deliveries a moment.
+    slo.set_alert_sink(nullptr);
+    webhook->flush(2.0);
+    std::printf("alert webhook: %llu delivered, %llu failed, %llu "
+                "dropped\n",
+                static_cast<unsigned long long>(webhook->delivered_total()),
+                static_cast<unsigned long long>(webhook->failed_total()),
+                static_cast<unsigned long long>(webhook->dropped_total()));
+  }
+  if (flight.has_value()) {
+    // Orderly flight-recorder teardown: watchdog first, then the crash
+    // handlers and the process-wide default (ratekeeper / pool lookups),
+    // then a final black-box dump so every run leaves its last events on
+    // disk even without a crash.
+    flight->stop_watchdog();
+    obs::install_crash_handlers(nullptr, nullptr);
+    obs::set_default_flight(nullptr);
+    flight->dump_jsonl("online_platform.flight", "shutdown");
+    std::printf("flight recorder: %llu events (%llu dropped), %llu "
+                "watchdog stalls; dump at online_platform.flight\n",
+                static_cast<unsigned long long>(flight->events_total()),
+                static_cast<unsigned long long>(flight->dropped_total()),
+                static_cast<unsigned long long>(flight->watchdog_stalls()));
   }
   if (ratekeeper.has_value()) {
     const control::RatekeeperStatus rk = ratekeeper->status();

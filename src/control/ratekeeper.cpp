@@ -1,7 +1,9 @@
 #include "control/ratekeeper.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/flight.hpp"
 #include "support/check.hpp"
 
 namespace mfcp::control {
@@ -97,6 +99,7 @@ double Ratekeeper::tick(const RatekeeperSignals& signals) {
 
   std::uint64_t decreases = 0;
   std::uint64_t recoveries = 0;
+  const double previous_rate = rate_per_hour_;
   if (pressure > 1.0) {
     rate_per_hour_ = std::max(config_.min_rate_per_hour,
                               rate_per_hour_ * config_.decrease_factor);
@@ -118,6 +121,18 @@ double Ratekeeper::tick(const RatekeeperSignals& signals) {
     // hovering at the threshold neither decreases nor recovers — the
     // hysteresis that prevents flapping.
     calm_ticks_ = 0;
+  }
+
+  if (rate_per_hour_ != previous_rate) {
+    // Controller moves are rare and diagnostic gold: record old/new rate
+    // (double bits) and the limiting signal on the flight recorder, when
+    // one is installed process-wide. Write-only — decisions are made.
+    if (obs::FlightRecorder* recorder = obs::default_flight()) {
+      recorder->record(obs::FlightKind::kRateChange, now,
+                       std::bit_cast<std::uint64_t>(previous_rate),
+                       std::bit_cast<std::uint64_t>(rate_per_hour_),
+                       static_cast<std::uint64_t>(static_cast<int>(limiting)));
+    }
   }
 
   std::lock_guard<std::mutex> lock(mutex_);

@@ -13,6 +13,17 @@
 
 namespace mfcp::engine {
 
+namespace {
+// kQueueTransition state ordinals (a1) and kAdmission shed reasons (a2);
+// part of the recorded event vocabulary, decoded by readers of the
+// /debug/flight route and `.flight` dumps.
+constexpr std::uint64_t kQueueQueued = 1;
+constexpr std::uint64_t kQueueExpired = 2;
+constexpr std::uint64_t kQueueRejected = 3;
+constexpr std::uint64_t kShedThrottled = 1;  // token bucket refused
+constexpr std::uint64_t kShedCapacity = 2;   // queue rejected the push
+}  // namespace
+
 OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
                            const sim::PseudoGnnEmbedder& embedder,
                            core::PlatformPredictor& predictor,
@@ -61,6 +72,8 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
           link_->table().mark_lost(a.id, expired ? TaskState::kExpired
                                                  : TaskState::kRejected);
         }
+        flight(obs::FlightKind::kQueueTransition, a.id,
+               expired ? kQueueExpired : kQueueRejected, queue_.depth());
       });
   if (config_.slo != nullptr && config_.registry != nullptr) {
     config_.slo->bind_metrics(config_.registry);
@@ -131,6 +144,14 @@ void OnlineEngine::note_slo(const RoundRecord* rec) {
     burn = std::max(burn, std::min(state.fast_burn, state.slow_burn));
   }
   last_slo_burn_ = burn;
+}
+
+void OnlineEngine::flight(obs::FlightKind kind, std::uint64_t a0,
+                          std::uint64_t a1, std::uint64_t a2,
+                          std::uint64_t trace_id) noexcept {
+  if (config_.flight != nullptr) {
+    config_.flight->record(kind, clock_hours_, a0, a1, a2, trace_id);
+  }
 }
 
 bool OnlineEngine::admission_throttled(const Arrival& arrival) {
@@ -342,8 +363,13 @@ EngineResult OnlineEngine::run() {
 
   Stopwatch wall;
   RunLog log;
+  obs::HeartbeatHandle pulse;
+  if (config_.flight != nullptr) {
+    pulse = config_.flight->register_heartbeat("engine_run");
+  }
 
   for (;;) {
+    pulse.beat();
     if (config_.stop_flag != nullptr &&
         config_.stop_flag->load(std::memory_order_relaxed)) {
       // Cooperative stop: no further arrivals, drain what is waiting.
@@ -366,10 +392,19 @@ EngineResult OnlineEngine::run() {
       if (admission_throttled(*arrival)) {
         // Refused at the door: no queue entry, no trace, no round
         // trigger — the bucket table carries the count.
+        flight(obs::FlightKind::kAdmission, arrival->id, 0, kShedThrottled);
       } else {
         maybe_begin_trace(*arrival);
-        if (queue_.push(std::move(*arrival))) {
+        const std::uint64_t id = arrival->id;
+        const bool pushed = queue_.push(std::move(*arrival));
+        if (pushed) {
           ++counters_.admitted;
+        }
+        flight(obs::FlightKind::kAdmission, id, pushed ? 1 : 0,
+               pushed ? 0 : kShedCapacity);
+        if (pushed) {
+          flight(obs::FlightKind::kQueueTransition, id, kQueueQueued,
+                 queue_.depth());
         }
         if (queue_.depth() >= batcher_.config().max_batch) {
           finish_round(RoundTrigger::kSize, log);
@@ -387,6 +422,7 @@ EngineResult OnlineEngine::run() {
     }
   }
 
+  pulse.idle();
   finalize(log, wall.seconds());
   return std::move(log.result);
 }
@@ -413,6 +449,10 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
 
   Stopwatch wall;
   RunLog log;
+  obs::HeartbeatHandle pulse;
+  if (config_.flight != nullptr) {
+    pulse = config_.flight->register_heartbeat("engine_serve");
+  }
   const double base_hours = clock_hours_;
   const auto sim_now = [&] {
     return base_hours + wall.seconds() * serve_config.hours_per_second;
@@ -423,11 +463,21 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
     ++counters_.arrivals;
     queue_.expire(clock_hours_);
     if (admission_throttled(arrival)) {
-      return;  // synthetic stream only; external ids pass (see above)
+      // Synthetic stream only; external ids pass (see above).
+      flight(obs::FlightKind::kAdmission, arrival.id, 0, kShedThrottled);
+      return;
     }
     maybe_begin_trace(arrival);
-    if (queue_.push(std::move(arrival))) {
+    const std::uint64_t id = arrival.id;
+    const bool pushed = queue_.push(std::move(arrival));
+    if (pushed) {
       ++counters_.admitted;
+    }
+    flight(obs::FlightKind::kAdmission, id, pushed ? 1 : 0,
+           pushed ? 0 : kShedCapacity);
+    if (pushed) {
+      flight(obs::FlightKind::kQueueTransition, id, kQueueQueued,
+             queue_.depth());
     }
     if (queue_.depth() >= batcher_.config().max_batch) {
       finish_round(RoundTrigger::kSize, log);
@@ -435,6 +485,7 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   };
 
   for (;;) {
+    pulse.beat();
     const bool stopping =
         link.stop_requested() ||
         (config_.stop_flag != nullptr &&
@@ -508,10 +559,14 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
           std::ceil(ms), 0.0, static_cast<double>(serve_config.poll_ms)));
     }
     if (wait_ms > 0) {
+      // A parked wait is not a stall: the watchdog only times busy beats.
+      pulse.idle();
       link.wait_for_event(std::chrono::milliseconds(wait_ms));
+      pulse.beat();
     }
   }
 
+  pulse.idle();
   finalize(log, wall.seconds());
   link.note_queue_depth(queue_.depth());
   link.note_sim_time(clock_hours_);
@@ -521,6 +576,8 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
 
 RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   const std::size_t m = platform_.num_clusters();
+  flight(obs::FlightKind::kRoundBegin, counters_.rounds, queue_.depth(),
+         static_cast<std::uint64_t>(trigger));
   auto batch = queue_.pop_batch(batcher_.config().max_batch);
   MFCP_DCHECK(!batch.empty(), "round closed with no tasks");
 
@@ -536,6 +593,8 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     }
   }
   batcher_.record_round(trigger, tasks.size());
+  flight(obs::FlightKind::kBatchFormed, counters_.rounds, tasks.size(),
+         queue_.depth());
 
   // Task-lifecycle spans for sampled batch members. Sim-time endpoints
   // are deterministic; the per-stage wall durations below are diagnostic
@@ -625,6 +684,11 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   }
   match_span.stop();
   const double solve_seconds = solve_watch.seconds();
+  if (config_.attribution) {
+    // Only the traced solve exposes its iteration count.
+    flight(obs::FlightKind::kSolverIters, counters_.rounds,
+           deployed_trace.relaxed.iterations, tasks.size());
+  }
 
   const core::MatchOutcome outcome =
       core::evaluate_assignment(truth, deployed, reference);
@@ -718,6 +782,15 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
       f.end_hours = clock_hours_;
       f.value = observed;  // the runtime the bandit loop learned from
       config_.task_traces->append(batch[j].id, std::move(f));
+      // Terminal span: realized minus predicted makespan, the per-task
+      // prediction error the chain's reader cares about post-dispatch.
+      obs::TaskSpan done;
+      done.name = "complete";
+      done.start_hours = clock_hours_;
+      done.end_hours = clock_hours_;
+      done.value = observed - t_hat(ci, j);
+      done.detail = run.succeeded[j] ? "ok" : "failed";
+      config_.task_traces->append(batch[j].id, std::move(done));
       config_.task_traces->finish(batch[j].id, "dispatched");
     }
 
@@ -746,6 +819,10 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   bool retrained = false;
   if (config_.online_retraining) {
     retrained = trainer_.observe_round(drift_stat, predictor_);
+    if (retrained) {
+      flight(obs::FlightKind::kRetrain, counters_.rounds,
+             trainer_.retrain_count(), 1);
+    }
   }
 
   RoundRecord rec;
@@ -807,6 +884,8 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     }
     telemetry_.sim_time->set(clock_hours_);
   }
+  flight(obs::FlightKind::kRoundEnd, rec.round, rec.batch,
+         rec.batch - dispatch_ok);
   return rec;
 }
 

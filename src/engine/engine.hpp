@@ -34,6 +34,7 @@
 #include "mfcp/metrics.hpp"
 #include "mfcp/regret.hpp"
 #include "obs/attribution.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
@@ -125,6 +126,14 @@ struct EngineConfig {
   obs::TraceStore* task_traces = nullptr;
   double trace_sample_rate = 0.0;
   std::uint64_t trace_salt = 0;
+
+  /// Black-box flight recorder: the round loop records
+  /// round/batch/admission/queue events onto the calling thread's ring
+  /// and heartbeats into the watchdog (run() as "engine_run", serve() as
+  /// "engine_serve"). Write-only telemetry — the engine never reads it
+  /// back, so decisions and the byte-compared round journal are
+  /// untouched. Borrowed; null disables recording entirely.
+  obs::FlightRecorder* flight = nullptr;
 
   /// SLO monitor: fed one observation per closed round (dispatch
   /// successes, expiries, regret gap) and evaluated after each, on the
@@ -281,6 +290,11 @@ class OnlineEngine {
   /// the Ratekeeper, publishes the rate into the bucket table, exports
   /// the mfcp_ratekeeper_* metrics, and stamps `rec`'s admission fields.
   void tick_ratekeeper(RoundRecord& rec);
+  /// Records one flight event at the current simulated time (no-op
+  /// without a recorder; never affects decisions or the journal).
+  void flight(obs::FlightKind kind, std::uint64_t a0 = 0,
+              std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+              std::uint64_t trace_id = 0) noexcept;
   /// Expires the queue, runs one round if anything is left, and folds the
   /// record into `log` (returns false when the queue emptied first).
   bool finish_round(RoundTrigger trigger, RunLog& log);

@@ -77,6 +77,11 @@ std::string_view route_label(const HttpRequest& request) {
   if (request.path == "/stats") return "/stats";
   if (request.path == "/metrics") return "/metrics";
   if (request.path == "/healthz") return "/healthz";
+  if (request.path == "/debug/flight" ||
+      request.path.rfind("/debug/flight?", 0) == 0) {
+    return "/debug/flight";
+  }
+  if (request.path == "/debug/threads") return "/debug/threads";
   return "other";
 }
 
@@ -182,6 +187,26 @@ HttpResponse handle_ratekeeper(const control::Ratekeeper* ratekeeper,
   }
   return json_response(
       200, ratekeeper_status_json(ratekeeper->status(), *buckets));
+}
+
+HttpResponse handle_debug_flight(const HttpRequest& request,
+                                 const obs::FlightRecorder* flight) {
+  if (flight == nullptr) {
+    return error_json(404, "flight recorder disabled");
+  }
+  const obs::FlightQuery query = obs::parse_flight_query(request.path);
+  if (!query.valid) {
+    return error_json(
+        400, "bad flight filter (thread=<n>&kind=<name>&limit=<n>)");
+  }
+  return json_response(200, obs::flight_events_json(*flight, query));
+}
+
+HttpResponse handle_debug_threads(const obs::FlightRecorder* flight) {
+  if (flight == nullptr) {
+    return error_json(404, "flight recorder disabled");
+  }
+  return json_response(200, obs::flight_threads_json(*flight));
 }
 
 }  // namespace
@@ -427,7 +452,8 @@ HttpResponse route_gateway_request(const HttpRequest& request,
                                    obs::SloMonitor* slo,
                                    obs::TraceStore* traces,
                                    const control::Ratekeeper* ratekeeper,
-                                   const control::TokenBucketTable* buckets) {
+                                   const control::TokenBucketTable* buckets,
+                                   const obs::FlightRecorder* flight) {
   if (!request.valid) {
     return text_response(400, "bad request\n");
   }
@@ -456,6 +482,13 @@ HttpResponse route_gateway_request(const HttpRequest& request,
   if (request.path == "/ratekeeper") {
     return handle_ratekeeper(ratekeeper, buckets);
   }
+  if (request.path == "/debug/flight" ||
+      request.path.rfind("/debug/flight?", 0) == 0) {
+    return handle_debug_flight(request, flight);
+  }
+  if (request.path == "/debug/threads") {
+    return handle_debug_threads(flight);
+  }
   if (request.path == "/stats") {
     return json_response(200, service_stats_json(link.stats()));
   }
@@ -483,7 +516,8 @@ PlatformGateway::PlatformGateway(engine::GatewayLink& link,
       slo_(config.slo),
       traces_(config.traces),
       ratekeeper_(config.ratekeeper),
-      buckets_(config.buckets) {
+      buckets_(config.buckets),
+      flight_(config.flight) {
   if (registry_ != nullptr) {
     submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
                                             obs::default_time_bounds());
@@ -504,14 +538,14 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
     const Stopwatch submit_watch;
     obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_, ratekeeper_, buckets_);
+                                     traces_, ratekeeper_, buckets_, flight_);
     span.stop();
     if (slo_ != nullptr) {
       slo_->observe_submit(link_.sim_time_hours(), submit_watch.seconds());
     }
   } else {
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_, ratekeeper_, buckets_);
+                                     traces_, ratekeeper_, buckets_, flight_);
   }
   if (registry_ != nullptr) {
     registry_

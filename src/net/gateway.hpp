@@ -17,6 +17,11 @@
 //                       when the Ratekeeper is disabled
 //   GET  /stats      -> 200 flat JSON: queue depth, round cadence,
 //                       cumulative regret, task-state counts
+//   GET  /debug/flight[?thread=&kind=&limit=]
+//                    -> 200 recent flight-recorder events (black box),
+//                       400 malformed filter, 404 recorder disabled
+//   GET  /debug/threads
+//                    -> 200 per-thread heartbeat ages + stall flags
 //   GET  /metrics    -> 200 Prometheus exposition of the shared registry
 //   GET  /healthz    -> 200 "ok\n"
 //
@@ -43,6 +48,7 @@
 #include "engine/service.hpp"
 #include "net/http.hpp"
 #include "net/http_server.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
@@ -102,7 +108,8 @@ struct SubmitParse {
     obs::MetricsRegistry* registry, obs::SloMonitor* slo = nullptr,
     obs::TraceStore* traces = nullptr,
     const control::Ratekeeper* ratekeeper = nullptr,
-    const control::TokenBucketTable* buckets = nullptr);
+    const control::TokenBucketTable* buckets = nullptr,
+    const obs::FlightRecorder* flight = nullptr);
 
 struct GatewayConfig {
   HttpServerConfig http;
@@ -117,6 +124,10 @@ struct GatewayConfig {
   /// optional.
   const control::Ratekeeper* ratekeeper = nullptr;
   const control::TokenBucketTable* buckets = nullptr;
+  /// Flight recorder behind GET /debug/flight and /debug/threads.
+  /// Borrowed, optional (404 when absent). To also heartbeat the HTTP
+  /// workers, point `http.observer` at an obs::FlightServerObserver.
+  const obs::FlightRecorder* flight = nullptr;
 };
 
 /// The running service: an HttpServer whose handler routes into `link`
@@ -154,6 +165,7 @@ class PlatformGateway {
   obs::TraceStore* traces_;
   const control::Ratekeeper* ratekeeper_;
   const control::TokenBucketTable* buckets_;
+  const obs::FlightRecorder* flight_;
   obs::Histogram* submit_seconds_ = nullptr;
   std::unique_ptr<HttpServer> server_;
 };

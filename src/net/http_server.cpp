@@ -61,7 +61,7 @@ HttpServer::HttpServer(Handler handler, HttpServerConfig config)
 
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -144,10 +144,17 @@ void HttpServer::accept_loop() {
   }
 }
 
-void HttpServer::worker_loop() {
+void HttpServer::worker_loop(std::size_t worker) {
+  ServerObserver* obs = config_.observer;
+  if (obs != nullptr) {
+    obs->on_worker_start(worker);
+  }
   for (;;) {
     int fd = -1;
     {
+      if (obs != nullptr) {
+        obs->on_worker_idle(worker);
+      }
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock,
                   [this] { return !accepted_.empty() || accept_done_; });
@@ -157,11 +164,14 @@ void HttpServer::worker_loop() {
       fd = accepted_.front();
       accepted_.pop_front();
     }
-    serve_connection(fd);
+    if (obs != nullptr) {
+      obs->on_request_begin(worker);
+    }
+    serve_connection(fd, worker);
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, std::size_t worker) {
   timeval timeout{};
   timeout.tv_sec = config_.receive_timeout_ms / 1000;
   timeout.tv_usec = (config_.receive_timeout_ms % 1000) * 1000;
@@ -224,9 +234,13 @@ void HttpServer::serve_connection(int fd) {
       }
     }
   }
-  send_all(fd, serialize_response(response));
+  const std::string wire = serialize_response(response);
+  send_all(fd, wire);
   ::close(fd);
   requests_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.observer != nullptr) {
+    config_.observer->on_request_end(worker, response.status, wire.size());
+  }
 }
 
 }  // namespace mfcp::net

@@ -34,6 +34,31 @@
 
 namespace mfcp::net {
 
+/// Optional lifecycle hooks for server worker threads. The net layer
+/// knows nothing about telemetry; observability (the flight recorder's
+/// per-worker heartbeats and HTTP begin/end events) implements this
+/// interface one layer up (obs::FlightServerObserver). All methods run on
+/// the worker thread they describe and must be cheap and non-blocking —
+/// they sit on the request path. Default implementations no-op.
+class ServerObserver {
+ public:
+  virtual ~ServerObserver() = default;
+
+  /// Worker thread started (called once, before any other hook).
+  virtual void on_worker_start(std::size_t worker) { (void)worker; }
+  /// Worker is about to block waiting for a connection.
+  virtual void on_worker_idle(std::size_t worker) { (void)worker; }
+  /// Worker picked up a connection and is about to read the request.
+  virtual void on_request_begin(std::size_t worker) { (void)worker; }
+  /// Response written (status 0 when the connection died before one).
+  virtual void on_request_end(std::size_t worker, int status,
+                              std::size_t response_bytes) {
+    (void)worker;
+    (void)status;
+    (void)response_bytes;
+  }
+};
+
 struct HttpServerConfig {
   /// Loopback by default: these servers expose process introspection and
   /// a demo ingress, not an authenticated public endpoint.
@@ -52,6 +77,9 @@ struct HttpServerConfig {
   int receive_timeout_ms = 2000;
   /// Requests whose head + body exceed this are answered 413.
   std::size_t max_request_bytes = 1 << 20;
+  /// Borrowed worker-lifecycle hooks; null = no observation. Must outlive
+  /// the server.
+  ServerObserver* observer = nullptr;
 };
 
 class HttpServer {
@@ -90,8 +118,8 @@ class HttpServer {
 
  private:
   void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void worker_loop(std::size_t worker);
+  void serve_connection(int fd, std::size_t worker);
 
   Handler handler_;
   HttpServerConfig config_;

@@ -8,9 +8,11 @@ namespace mfcp::obs {
 namespace {
 
 /// The exporter's whole route table, socket-free. Shared by the live
-/// server handler and the static respond() below.
+/// server handler and the static respond() below (which passes a null
+/// recorder, so its pre-flight response bytes are unchanged).
 net::HttpResponse route(const std::string& method, const std::string& path,
-                        const HttpExporter::SnapshotFn& snapshot) {
+                        const HttpExporter::SnapshotFn& snapshot,
+                        const FlightRecorder* flight) {
   if (method != "GET") {
     net::HttpResponse r = net::text_response(405, "method not allowed\n");
     r.headers.emplace_back("Allow", "GET");
@@ -24,6 +26,24 @@ net::HttpResponse route(const std::string& method, const std::string& path,
   }
   if (path == "/healthz") {
     return net::text_response(200, "ok\n");
+  }
+  if (flight != nullptr &&
+      (path == "/debug/flight" ||
+       path.rfind("/debug/flight?", 0) == 0)) {
+    const FlightQuery query = parse_flight_query(path);
+    if (!query.valid) {
+      return net::text_response(400, "bad flight filter\n");
+    }
+    net::HttpResponse r =
+        net::text_response(200, flight_events_json(*flight, query));
+    r.content_type = "application/json";
+    return r;
+  }
+  if (flight != nullptr && path == "/debug/threads") {
+    net::HttpResponse r =
+        net::text_response(200, flight_threads_json(*flight));
+    r.content_type = "application/json";
+    return r;
   }
   return net::text_response(404, "not found\n");
 }
@@ -51,20 +71,21 @@ std::string HttpExporter::respond(const Request& request,
         net::text_response(404, "bad request\n"));
   }
   return net::serialize_response(
-      route(request.method, request.path, snapshot));
+      route(request.method, request.path, snapshot, nullptr));
 }
 
 HttpExporter::HttpExporter(SnapshotFn snapshot, HttpExporterConfig config)
-    : snapshot_(std::move(snapshot)) {
+    : snapshot_(std::move(snapshot)), flight_(config.flight) {
   net::HttpServerConfig server_config;
   server_config.bind_address = std::move(config.bind_address);
   server_config.port = config.port;
   server_config.listen_backlog = config.listen_backlog;
   server_config.receive_timeout_ms = config.receive_timeout_ms;
   server_config.worker_threads = config.worker_threads;
+  server_config.observer = config.observer;
   server_ = std::make_unique<net::HttpServer>(
       [this](const net::HttpRequest& request) {
-        return route(request.method, request.path, snapshot_);
+        return route(request.method, request.path, snapshot_, flight_);
       },
       server_config);
 }

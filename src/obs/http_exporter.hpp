@@ -1,9 +1,13 @@
 // Live-metrics HTTP endpoint, rebased on the shared net::HttpServer core
 // (PR 4) — the exporter is now a thin route table:
 //
-//   GET /metrics  -> 200, Prometheus text exposition of a fresh snapshot
-//   GET /healthz  -> 200, "ok\n"
-//   GET <other>   -> 404;  non-GET -> 405
+//   GET /metrics        -> 200, Prometheus text exposition of a snapshot
+//   GET /healthz        -> 200, "ok\n"
+//   GET /debug/flight   -> 200, recent flight-recorder events (when a
+//                          recorder is configured; filterable via
+//                          ?thread=&kind=&limit=, 400 on a bad filter)
+//   GET /debug/threads  -> 200, per-thread heartbeat ages + stall flags
+//   GET <other>         -> 404;  non-GET -> 405
 //
 // The exporter pulls: each scrape invokes the caller-supplied snapshot
 // function, so the running engine never blocks on the exporter — scrapes
@@ -24,6 +28,7 @@
 #include <string_view>
 
 #include "net/http_server.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace mfcp::obs {
@@ -41,6 +46,13 @@ struct HttpExporterConfig {
   /// Scrapes are rare and cheap; two workers cover an overlapping scrape
   /// without reserving more threads.
   std::size_t worker_threads = 2;
+  /// Flight recorder behind GET /debug/flight and /debug/threads.
+  /// Borrowed, optional (404 when absent — the static respond() surface
+  /// never sees these routes, so its pinned bytes are untouched).
+  const FlightRecorder* flight = nullptr;
+  /// Worker lifecycle hooks forwarded to the underlying net::HttpServer
+  /// (e.g. an obs::FlightServerObserver for watchdog heartbeats).
+  net::ServerObserver* observer = nullptr;
 };
 
 class HttpExporter {
@@ -88,6 +100,7 @@ class HttpExporter {
 
  private:
   SnapshotFn snapshot_;
+  const FlightRecorder* flight_ = nullptr;
   std::unique_ptr<net::HttpServer> server_;
 };
 

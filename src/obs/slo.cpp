@@ -282,7 +282,7 @@ SloState SloMonitor::evaluate_mean_locked(Series& series, const char* name,
 }
 
 std::vector<SloState> SloMonitor::evaluate(double now_hours) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   std::vector<SloState> states;
   states.push_back(evaluate_ratio_locked(
       submit_, "submit_latency", 1.0 - config_.submit_latency_objective,
@@ -305,33 +305,76 @@ std::vector<SloState> SloMonitor::evaluate(double now_hours) {
       s.firing_gauge->set(states[i].firing ? 1.0 : 0.0);
     }
   }
+  std::vector<AlertTransition> transitions;
   for (const SloState& state : states) {
     bool& previous = firing_state_[state.sli];  // default-inserts false
     if (state.firing == previous) {
       continue;
     }
     previous = state.firing;
-    if (alert_log_ == nullptr) {
-      continue;
+    AlertTransition t;
+    t.t_hours = now_hours;
+    t.sli = state.sli;
+    t.firing = state.firing;
+    t.value = state.value;
+    t.budget = state.budget;
+    t.fast_burn = state.fast_burn;
+    t.slow_burn = state.slow_burn;
+    t.samples = state.samples;
+    log_transition_locked(t);
+    transitions.push_back(std::move(t));
+  }
+  AlertSink* sink = alert_sink_;
+  lock.unlock();
+  // Sink delivery happens outside the mutex: a sink only enqueues (see
+  // AlertSink's contract), but even a misbehaving one must not hold the
+  // monitor's observation paths hostage.
+  if (sink != nullptr) {
+    for (const AlertTransition& t : transitions) {
+      sink->notify(t);
     }
-    alert_log_->field("t_hours", now_hours)
-        .field("sli", state.sli)
-        .field("event", state.firing ? std::string_view("fire")
-                                     : std::string_view("resolve"))
-        .field("value", state.value)
-        .field("budget", state.budget)
-        .field("fast_burn", state.fast_burn)
-        .field("slow_burn", state.slow_burn)
-        .field("samples", state.samples);
-    alert_log_->end_record();
-    alert_log_->flush();
   }
   return states;
+}
+
+void SloMonitor::log_transition_locked(const AlertTransition& t) {
+  if (alert_log_ == nullptr) {
+    return;
+  }
+  alert_log_->field("t_hours", t.t_hours)
+      .field("sli", t.sli)
+      .field("event", t.firing ? std::string_view("fire")
+                               : std::string_view("resolve"))
+      .field("value", t.value)
+      .field("budget", t.budget)
+      .field("fast_burn", t.fast_burn)
+      .field("slow_burn", t.slow_burn)
+      .field("samples", t.samples);
+  alert_log_->end_record();
+  alert_log_->flush();
+}
+
+void SloMonitor::report_transition(const AlertTransition& transition) {
+  AlertSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    log_transition_locked(transition);
+    firing_state_[transition.sli] = transition.firing;
+    sink = alert_sink_;
+  }
+  if (sink != nullptr) {
+    sink->notify(transition);
+  }
 }
 
 void SloMonitor::set_alert_log(JsonlWriter* log) {
   std::lock_guard<std::mutex> lock(mutex_);
   alert_log_ = log;
+}
+
+void SloMonitor::set_alert_sink(AlertSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alert_sink_ = sink;
 }
 
 std::string slo_summary_table(const std::vector<SloState>& states) {

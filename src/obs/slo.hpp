@@ -79,6 +79,30 @@ struct SloConfig {
 [[nodiscard]] std::optional<SloConfig> load_slo_config(
     const std::string& path, std::string* error);
 
+/// One alert-rule firing-state change, as delivered to alert sinks and
+/// the JSONL alert log (identical field set, so every delivery channel
+/// carries the same record).
+struct AlertTransition {
+  double t_hours = 0.0;
+  std::string sli;
+  bool firing = false;  // true = "fire", false = "resolve"
+  double value = 0.0;
+  double budget = 0.0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Push delivery channel for alert transitions (webhook sender, test
+/// captures, ...). Implementations must be thread-safe and MUST NOT
+/// block: notify() runs on the engine's evaluation path and on the flight
+/// recorder's watchdog thread (enqueue and return; never do I/O inline).
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void notify(const AlertTransition& transition) = 0;
+};
+
 /// One SLI's evaluated state.
 struct SloState {
   std::string sli;
@@ -123,6 +147,16 @@ class SloMonitor {
   /// Borrowed; null detaches. Flushed per transition so `tail -f` works.
   void set_alert_log(JsonlWriter* log);
 
+  /// Push sink notified of the same transitions the alert log records
+  /// (after the log write, outside the monitor's mutex). Borrowed; null
+  /// detaches.
+  void set_alert_sink(AlertSink* sink);
+
+  /// Reports an externally-evaluated rule transition (e.g. the flight
+  /// recorder's watchdog stall) through the same alert log + sink as the
+  /// burn-rate rules, so every alert channel sees one uniform stream.
+  void report_transition(const AlertTransition& transition);
+
   [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
 
  private:
@@ -155,7 +189,10 @@ class SloMonitor {
   Series dispatch_;
   Series expiry_;
   Series regret_;
+  void log_transition_locked(const AlertTransition& transition);
+
   JsonlWriter* alert_log_ = nullptr;          // guarded by mutex_
+  AlertSink* alert_sink_ = nullptr;           // guarded by mutex_
   std::map<std::string, bool> firing_state_;  // per-SLI, for transitions
 };
 

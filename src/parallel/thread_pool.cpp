@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/flight.hpp"
 
 namespace mfcp {
 
@@ -10,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,16 +28,39 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
+  // Watchdog heartbeat against the process-wide flight recorder. The
+  // handle is re-resolved by *generation* immediately before every use —
+  // including right after waking from a park, which can outlast any
+  // recorder — so tearing a recorder down (set_default_flight(nullptr)
+  // once outstanding futures are waited on) can never leave a worker
+  // beating a dead slot, even if a successor recorder reuses the address.
+  std::uint64_t pulse_generation = 0;
+  obs::HeartbeatHandle pulse;
+  const auto resolve_pulse = [&] {
+    const std::uint64_t generation = obs::default_flight_generation();
+    if (generation != pulse_generation || generation == 0) {
+      pulse_generation = generation;
+      obs::FlightRecorder* recorder = obs::default_flight();
+      pulse = recorder != nullptr
+                  ? recorder->register_heartbeat("pool_worker_" +
+                                                 std::to_string(worker))
+                  : obs::HeartbeatHandle();
+    }
+  };
   for (;;) {
     std::function<void()> task;
     std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      resolve_pulse();
+      pulse.idle();  // a parked worker is not a stall
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stop_ and drained
       }
+      resolve_pulse();  // the park may have outlived the recorder
+      pulse.beat();
       task = std::move(queue_.front());
       queue_.pop_front();
       depth = queue_.size();

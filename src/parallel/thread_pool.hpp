@@ -97,7 +97,7 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -10,6 +10,7 @@
 
 #include "engine/engine.hpp"
 #include "nn/serialize.hpp"
+#include "obs/flight.hpp"
 #include "obs/sinks.hpp"
 #include "support/check.hpp"
 
@@ -653,6 +654,29 @@ TEST(Engine, JournalIsByteIdenticalWithTracingOnOrOff) {
   EXPECT_EQ(journal_run(0.0), journal_run(1.0));
 }
 
+TEST(Engine, JournalIsByteIdenticalWithFlightRecorderAttached) {
+  obs::FlightRecorder recorder;
+  const auto journal_run = [&recorder](bool flight) {
+    EngineFixture f;
+    std::ostringstream out;
+    obs::JsonlWriter journal(out);
+    EngineConfig cfg = small_engine_config();
+    cfg.journal = &journal;
+    if (flight) {
+      cfg.flight = &recorder;
+    }
+    OnlineEngine eng(cfg, f.platform, f.embedder, f.predictor);
+    eng.run();
+    return out.str();
+  };
+  // The recorder is write-only telemetry; wall-clock values stay in its
+  // rings and never leak into the byte-compared journal.
+  const std::string plain = journal_run(false);
+  const std::string recorded = journal_run(true);
+  EXPECT_GT(recorder.events_total(), 0u);
+  EXPECT_EQ(plain, recorded);
+}
+
 TEST(Engine, DispatchedTraceHasTheCompleteSpanChain) {
   EngineFixture f;
   obs::TraceStore traces(4096);
@@ -668,8 +692,31 @@ TEST(Engine, DispatchedTraceHasTheCompleteSpanChain) {
     ASSERT_TRUE(trace.finished());  // run() drains the queue before exit
     if (trace.final_state == "dispatched") {
       ++dispatched_traces;
-      EXPECT_EQ(trace.chain(),
-                "submit>queue_wait>batch>predict>match>dispatch>feedback");
+      EXPECT_EQ(
+          trace.chain(),
+          "submit>queue_wait>batch>predict>match>dispatch>feedback>complete");
+      // The terminal span carries the realized-vs-predicted makespan
+      // error: feedback recorded the realized runtime, match the
+      // prediction on the chosen cluster.
+      const auto& spans = trace.spans;
+      const auto span_named = [&](const char* name) {
+        for (const auto& s : spans) {
+          if (s.name == name) {
+            return &s;
+          }
+        }
+        return static_cast<const obs::TaskSpan*>(nullptr);
+      };
+      const obs::TaskSpan* match_span = span_named("match");
+      const obs::TaskSpan* feedback_span = span_named("feedback");
+      const obs::TaskSpan* complete_span = span_named("complete");
+      ASSERT_NE(match_span, nullptr);
+      ASSERT_NE(feedback_span, nullptr);
+      ASSERT_NE(complete_span, nullptr);
+      EXPECT_NEAR(complete_span->value,
+                  feedback_span->value - match_span->value, 1e-12);
+      EXPECT_TRUE(complete_span->detail == "ok" ||
+                  complete_span->detail == "failed");
       // Sim-time endpoints are ordered within every span.
       for (const auto& span : trace.spans) {
         EXPECT_LE(span.start_hours, span.end_hours) << span.name;

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -20,6 +21,8 @@
 #include "net/http_client.hpp"
 #include "net/http_server.hpp"
 #include "net/json.hpp"
+#include "obs/alert_webhook.hpp"
+#include "obs/flight.hpp"
 
 namespace mfcp::net {
 namespace {
@@ -884,6 +887,176 @@ TEST(GatewayLive, ThrottledServeModeStillConservesAcceptedWork) {
   // and the bucket table's ledger matches the link's.
   EXPECT_EQ(result.counters.arrivals, accepted.load());
   EXPECT_EQ(buckets.throttled_total(), throttled.load());
+}
+
+// --------------------------------------------- flight debug routes --
+
+TEST(GatewayRoute, FlightDebugRoutesServeAndFilter) {
+  engine::GatewayLink link;
+  obs::FlightRecorder recorder;
+  recorder.record(obs::FlightKind::kAdmission, 1.0, 42, 1, 0, 0xbeef);
+  obs::HeartbeatHandle pulse = recorder.register_heartbeat("route_test");
+  pulse.beat();
+
+  const HttpResponse events = route_gateway_request(
+      make_request("GET", "/debug/flight"), link, nullptr, nullptr,
+      nullptr, nullptr, nullptr, &recorder);
+  ASSERT_EQ(events.status, 200);
+  EXPECT_NE(events.body.find("\"kind\":\"admission\""), std::string::npos);
+  EXPECT_NE(events.body.find("\"trace_id\":\"000000000000beef\""),
+            std::string::npos);
+
+  const HttpResponse filtered = route_gateway_request(
+      make_request("GET", "/debug/flight?kind=round_end"), link, nullptr,
+      nullptr, nullptr, nullptr, nullptr, &recorder);
+  ASSERT_EQ(filtered.status, 200);
+  EXPECT_NE(filtered.body.find("\"count\":0"), std::string::npos);
+
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/debug/flight?kind=bogus"), link,
+                nullptr, nullptr, nullptr, nullptr, nullptr, &recorder)
+                .status,
+            400);
+
+  const HttpResponse threads = route_gateway_request(
+      make_request("GET", "/debug/threads"), link, nullptr, nullptr,
+      nullptr, nullptr, nullptr, &recorder);
+  ASSERT_EQ(threads.status, 200);
+  EXPECT_NE(threads.body.find("\"name\":\"route_test\""),
+            std::string::npos);
+
+  // Without a recorder the routes are absent, not empty.
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/debug/flight"),
+                                  link, nullptr)
+                .status,
+            404);
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/debug/threads"),
+                                  link, nullptr)
+                .status,
+            404);
+}
+
+// ------------------------------------------------- webhook delivery --
+
+TEST(Webhook, ParseUrlAcceptsHostPortPathAndRejectsTheRest) {
+  std::string error;
+  const auto full =
+      obs::parse_webhook_url("http://127.0.0.1:9920/hooks/alerts", &error);
+  ASSERT_TRUE(full.has_value()) << error;
+  EXPECT_EQ(full->host, "127.0.0.1");
+  EXPECT_EQ(full->port, 9920);
+  EXPECT_EQ(full->path, "/hooks/alerts");
+
+  const auto bare = obs::parse_webhook_url("http://alerthost:80", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->host, "alerthost");
+  EXPECT_EQ(bare->port, 80);
+  EXPECT_EQ(bare->path, "/");
+
+  EXPECT_FALSE(obs::parse_webhook_url("https://h:1/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("http://noport/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("http://:90/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("http://h:0/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("http://h:99999/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("ftp://h:90/x", &error).has_value());
+  EXPECT_FALSE(obs::parse_webhook_url("", &error).has_value());
+}
+
+TEST(Webhook, DeliversTransitionsToALiveEndpoint) {
+  std::mutex seen_mutex;
+  std::vector<std::string> seen_bodies;
+  std::vector<std::string> seen_paths;
+  HttpServer endpoint([&](const HttpRequest& r) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen_bodies.push_back(r.body);
+    seen_paths.push_back(r.method + " " + r.path);
+    return text_response(200, "ok");
+  });
+  ASSERT_GT(endpoint.port(), 0);
+
+  obs::WebhookConfig cfg;
+  cfg.port = endpoint.port();
+  cfg.path = "/hooks/alerts";
+  obs::WebhookSender sender(cfg);
+  obs::MetricsRegistry registry;
+  sender.bind_metrics(&registry);
+
+  // Delivery rides the SLO monitor's sink plumbing, exactly as wired in
+  // the example binary.
+  obs::SloMonitor slo;
+  slo.set_alert_sink(&sender);
+  obs::AlertTransition fire;
+  fire.t_hours = 12.5;
+  fire.sli = "submit_latency";
+  fire.firing = true;
+  fire.value = 0.09;
+  fire.budget = 0.05;
+  fire.fast_burn = 3.0;
+  fire.slow_burn = 1.8;
+  fire.samples = 640;
+  slo.report_transition(fire);
+  obs::AlertTransition resolve = fire;
+  resolve.firing = false;
+  resolve.t_hours = 13.0;
+  slo.report_transition(resolve);
+
+  ASSERT_TRUE(sender.flush(5.0));
+  EXPECT_EQ(sender.delivered_total(), 2u);
+  EXPECT_EQ(sender.failed_total(), 0u);
+  EXPECT_EQ(sender.dropped_total(), 0u);
+
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  ASSERT_EQ(seen_bodies.size(), 2u);
+  EXPECT_EQ(seen_paths[0], "POST /hooks/alerts");
+  EXPECT_EQ(seen_bodies[0], obs::webhook_body(fire));
+  EXPECT_EQ(seen_bodies[1], obs::webhook_body(resolve));
+  EXPECT_NE(seen_bodies[0].find("\"event\":\"fire\""), std::string::npos);
+  EXPECT_NE(seen_bodies[1].find("\"event\":\"resolve\""),
+            std::string::npos);
+
+  // The counters surfaced through the registry match the atomics.
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "mfcp_alert_webhook_delivered_total") {
+      EXPECT_EQ(value, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  endpoint.stop();
+}
+
+TEST(Webhook, FailedDeliveriesAreCountedAndNeverBlock) {
+  // Grab a port that was live and is now closed: connection refused.
+  std::uint16_t dead_port = 0;
+  {
+    HttpServer ephemeral(
+        [](const HttpRequest&) { return text_response(200, "ok"); });
+    dead_port = ephemeral.port();
+    ephemeral.stop();
+  }
+  obs::WebhookConfig cfg;
+  cfg.port = dead_port;
+  cfg.timeout_ms = 500;
+  obs::WebhookSender sender(cfg);
+
+  obs::AlertTransition t;
+  t.sli = "round_cadence";
+  t.firing = true;
+  const auto notify_start = std::chrono::steady_clock::now();
+  sender.notify(t);
+  const double notify_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    notify_start)
+          .count();
+  // notify() only enqueues — even with a dead endpoint it returns
+  // immediately (well under the delivery timeout).
+  EXPECT_LT(notify_seconds, 0.1);
+
+  ASSERT_TRUE(sender.flush(5.0));
+  EXPECT_EQ(sender.delivered_total(), 0u);
+  EXPECT_EQ(sender.failed_total(), 1u);
 }
 
 }  // namespace

@@ -6,16 +6,25 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
@@ -900,6 +909,325 @@ TEST(HttpExporter, ServesLiveSnapshotsOverRealSockets) {
   exporter.stop();
   EXPECT_EQ(exporter.requests_served(), 3u);
   exporter.stop();  // idempotent
+}
+
+// -------------------------------------------------------------- flight --
+
+TEST(FlightRing, WrapKeepsTheNewestWindowInSeqOrder) {
+  FlightRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    FlightEvent e;
+    e.a0 = i;
+    e.kind = static_cast<std::uint16_t>(FlightKind::kRoundBegin);
+    ring.record(e);
+  }
+  EXPECT_EQ(ring.head(), 20u);
+  const std::vector<FlightEvent> events = ring.snapshot();
+  // The ring overwrote 1..12; exactly the newest capacity() survive.
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].a0, 13 + i);  // payload still pairs with its seq
+  }
+}
+
+TEST(FlightRing, ConcurrentReaderNeverSeesATornEvent) {
+  // One writer hammers a tiny ring (maximal overwrite pressure) while a
+  // reader drains snapshots. The seqlock must hand the reader only
+  // events whose payload matches the sequence they were published under.
+  FlightRing ring(8);
+  constexpr std::uint64_t kEvents = 200000;
+  std::atomic<bool> done{false};
+  std::thread writer([&ring, &done] {
+    for (std::uint64_t i = 1; i <= kEvents; ++i) {
+      FlightEvent e;
+      e.a0 = i;
+      e.a1 = i * 3;
+      e.kind = static_cast<std::uint16_t>(FlightKind::kRoundBegin);
+      ring.record(e);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::size_t drained = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    // Under this much overwrite pressure a mid-flight snapshot may
+    // reject every slot — what matters is that whatever it does hand
+    // back is consistent.
+    for (const FlightEvent& e : ring.snapshot()) {
+      ASSERT_EQ(e.a0, e.seq);
+      ASSERT_EQ(e.a1, e.seq * 3);
+      ++drained;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(ring.head(), kEvents);
+  // Quiescent ring: the full newest window is visible and consistent.
+  const std::vector<FlightEvent> final_window = ring.snapshot();
+  ASSERT_EQ(final_window.size(), ring.capacity());
+  for (const FlightEvent& e : final_window) {
+    ASSERT_EQ(e.a0, e.seq);
+    ASSERT_EQ(e.a1, e.seq * 3);
+    ++drained;
+  }
+  EXPECT_GT(drained, 0u);
+}
+
+TEST(FlightRecorder, SnapshotMergesAndFiltersAcrossThreads) {
+  FlightConfig cfg;
+  cfg.ring_capacity = 32;
+  FlightRecorder recorder(cfg);
+  recorder.record(FlightKind::kRoundBegin, 1.0, 10);
+  recorder.record(FlightKind::kRoundEnd, 1.5, 11);
+  std::thread other([&recorder] {
+    recorder.record(FlightKind::kAdmission, 2.0, 99, 1, 0, 0xabcd);
+  });
+  other.join();
+  EXPECT_EQ(recorder.events_total(), 3u);
+  EXPECT_EQ(recorder.threads_registered(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.last_sim_hours(), 2.0);
+
+  EXPECT_EQ(recorder.snapshot().size(), 3u);
+  const auto admissions = recorder.snapshot(-1, FlightKind::kAdmission);
+  ASSERT_EQ(admissions.size(), 1u);
+  EXPECT_EQ(admissions[0].a0, 99u);
+  EXPECT_EQ(admissions[0].trace_id, 0xabcdu);
+  EXPECT_EQ(recorder.snapshot(0).size(), 2u);   // main thread's ring
+  EXPECT_EQ(recorder.snapshot(1).size(), 1u);   // helper thread's ring
+  EXPECT_EQ(recorder.snapshot(-1, FlightKind::kNone, 2).size(), 2u);
+}
+
+TEST(FlightQuery, ParsesFiltersAndRejectsMalformedOnes) {
+  const FlightQuery all = parse_flight_query("/debug/flight");
+  EXPECT_TRUE(all.valid);
+  EXPECT_EQ(all.thread, -1);
+  EXPECT_EQ(all.kind, FlightKind::kNone);
+
+  const FlightQuery q =
+      parse_flight_query("/debug/flight?thread=2&kind=round_begin&limit=64");
+  EXPECT_TRUE(q.valid);
+  EXPECT_EQ(q.thread, 2);
+  EXPECT_EQ(q.kind, FlightKind::kRoundBegin);
+  EXPECT_EQ(q.limit, 64u);
+
+  EXPECT_FALSE(parse_flight_query("/debug/flight?kind=nope").valid);
+  EXPECT_FALSE(parse_flight_query("/debug/flight?thread=abc").valid);
+  EXPECT_FALSE(parse_flight_query("/debug/flight?limit=").valid);
+  EXPECT_FALSE(parse_flight_query("/debug/flight?bogus=1").valid);
+}
+
+/// Test sink capturing every alert transition it is handed.
+struct CaptureSink : AlertSink {
+  void notify(const AlertTransition& transition) override {
+    std::lock_guard<std::mutex> lock(mutex);
+    transitions.push_back(transition);
+  }
+  std::vector<AlertTransition> copy() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return transitions;
+  }
+  std::mutex mutex;
+  std::vector<AlertTransition> transitions;
+};
+
+TEST(FlightWatchdog, FiresOnAStalledHeartbeatAndDumpsTheRings) {
+  const std::string dump_path = "flight_watchdog_test.flight";
+  std::remove(dump_path.c_str());
+  FlightConfig cfg;
+  cfg.stall_budget_seconds = 0.05;
+  cfg.watchdog_poll_seconds = 0.01;
+  FlightRecorder recorder(cfg);
+  recorder.record(FlightKind::kRoundBegin, 3.25, 7);
+  SloMonitor slo;
+  CaptureSink sink;
+  slo.set_alert_sink(&sink);
+  HeartbeatHandle pulse = recorder.register_heartbeat("stalling_loop");
+  pulse.beat();  // busy, and never beats again
+  recorder.start_watchdog(dump_path, &slo);
+
+  // The injected stall runs to 5x the budget; the watchdog must flag it
+  // well before then.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (recorder.watchdog_stalls() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(5.0 * cfg.stall_budget_seconds));
+  EXPECT_GE(recorder.watchdog_stalls(), 1u);
+
+  // Recovery resolves the alert through the same sink.
+  pulse.idle();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto seen = sink.copy();
+    if (!seen.empty() && !seen.back().firing) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  recorder.stop_watchdog();
+
+  const auto transitions = sink.copy();
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions.front().sli, "watchdog_stall");
+  EXPECT_TRUE(transitions.front().firing);
+  EXPECT_GE(transitions.front().value, cfg.stall_budget_seconds);
+  EXPECT_FALSE(transitions.back().firing);
+
+  // The stall dump is a parsable JSONL black box: meta, the stalled
+  // heartbeat, and the recorded event all present.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"record\":\"flight_meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"watchdog_stall\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"stalling_loop\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"round_begin\""), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(FlightWatchdog, StaysSilentWhileHeartbeatsAreHealthy) {
+  const std::string dump_path = "flight_watchdog_silent.flight";
+  std::remove(dump_path.c_str());
+  FlightConfig cfg;
+  cfg.stall_budget_seconds = 0.1;
+  cfg.watchdog_poll_seconds = 0.01;
+  FlightRecorder recorder(cfg);
+  SloMonitor slo;
+  CaptureSink sink;
+  slo.set_alert_sink(&sink);
+  recorder.start_watchdog(dump_path, &slo);
+
+  // One loop beats well inside the budget; another is parked idle for
+  // longer than the budget — neither is a stall.
+  HeartbeatHandle parked = recorder.register_heartbeat("parked_loop");
+  parked.idle();
+  std::atomic<bool> stop{false};
+  std::thread busy([&recorder, &stop] {
+    HeartbeatHandle pulse = recorder.register_heartbeat("busy_loop");
+    while (!stop.load(std::memory_order_acquire)) {
+      pulse.beat();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    pulse.idle();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true, std::memory_order_release);
+  busy.join();
+  recorder.stop_watchdog();
+
+  EXPECT_EQ(recorder.watchdog_stalls(), 0u);
+  EXPECT_TRUE(sink.copy().empty());
+  // No stall, no dump file.
+  EXPECT_FALSE(std::ifstream(dump_path).is_open());
+}
+
+namespace {
+std::uint64_t dump_u64(const std::vector<unsigned char>& bytes,
+                       std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+}  // namespace
+
+TEST(FlightCrash, ForkedChildSegfaultLeavesAParsableRawDump) {
+  const std::string dump_path = "flight_crash_test.flight";
+  std::remove(dump_path.c_str());
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: arm the crash path on a fresh recorder, record a known
+    // event, then die by SIGSEGV. Nothing after raise() may run.
+    FlightConfig cfg;
+    cfg.ring_capacity = 16;
+    static FlightRecorder recorder(cfg);
+    recorder.record(FlightKind::kRoundBegin, 1.5, 11, 22, 33, 0x77);
+    recorder.record(FlightKind::kRoundEnd, 2.5, 44);
+    install_crash_handlers(&recorder, dump_path.c_str());
+    ::raise(SIGSEGV);
+    ::_exit(9);  // unreachable: the re-raise kills the child
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::ifstream in(dump_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  // Header: magic, signal, one ring of 16 events, 64-byte slots.
+  ASSERT_GE(bytes.size(), 64u);
+  EXPECT_EQ(std::memcmp(bytes.data(), "MFCPFLT1", 8), 0);
+  EXPECT_EQ(dump_u64(bytes, 8), static_cast<std::uint64_t>(SIGSEGV));
+  EXPECT_EQ(dump_u64(bytes, 16), 1u);   // ring_count
+  EXPECT_EQ(dump_u64(bytes, 24), 16u);  // ring capacity
+  EXPECT_EQ(dump_u64(bytes, 32), 64u);  // event bytes
+  EXPECT_EQ(dump_u64(bytes, 40), 2u);   // events_total
+  ASSERT_EQ(bytes.size(), 64u + 16u + 16u * 64u);
+  // Ring header, then the first slot holds the first recorded event raw.
+  EXPECT_EQ(dump_u64(bytes, 64), 0u);  // ring index
+  EXPECT_EQ(dump_u64(bytes, 72), 2u);  // head
+  const std::size_t slot0 = 80;
+  EXPECT_EQ(dump_u64(bytes, slot0), 1u);  // seq
+  double sim_hours = 0.0;
+  const std::uint64_t sim_bits = dump_u64(bytes, slot0 + 16);
+  std::memcpy(&sim_hours, &sim_bits, sizeof(sim_hours));
+  EXPECT_DOUBLE_EQ(sim_hours, 1.5);
+  EXPECT_EQ(dump_u64(bytes, slot0 + 24), 11u);    // a0
+  EXPECT_EQ(dump_u64(bytes, slot0 + 32), 22u);    // a1
+  EXPECT_EQ(dump_u64(bytes, slot0 + 40), 33u);    // a2
+  EXPECT_EQ(dump_u64(bytes, slot0 + 48), 0x77u);  // trace_id
+  const std::uint64_t packed = dump_u64(bytes, slot0 + 56);
+  EXPECT_EQ(packed & 0xFFFF,
+            static_cast<std::uint64_t>(FlightKind::kRoundBegin));
+  std::remove(dump_path.c_str());
+}
+
+TEST(HttpExporter, ServesFlightDebugRoutesWhenConfigured) {
+  FlightConfig flight_cfg;
+  flight_cfg.ring_capacity = 16;
+  FlightRecorder recorder(flight_cfg);
+  recorder.record(FlightKind::kRoundBegin, 1.0, 5);
+  HeartbeatHandle pulse = recorder.register_heartbeat("exporter_test");
+  pulse.beat();
+
+  MetricsRegistry registry;
+  HttpExporterConfig cfg;
+  cfg.flight = &recorder;
+  HttpExporter exporter([&registry] { return registry.snapshot(); }, cfg);
+
+  const std::string events =
+      scrape(exporter.port(), "GET /debug/flight HTTP/1.1\r\n\r\n");
+  EXPECT_NE(events.find("200 OK"), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"round_begin\""), std::string::npos);
+  const std::string filtered = scrape(
+      exporter.port(),
+      "GET /debug/flight?kind=round_end HTTP/1.1\r\n\r\n");
+  EXPECT_NE(filtered.find("\"count\":0"), std::string::npos);
+  const std::string bad = scrape(
+      exporter.port(), "GET /debug/flight?kind=nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+  const std::string threads =
+      scrape(exporter.port(), "GET /debug/threads HTTP/1.1\r\n\r\n");
+  EXPECT_NE(threads.find("\"name\":\"exporter_test\""), std::string::npos);
+  EXPECT_NE(threads.find("\"busy\":true"), std::string::npos);
+  exporter.stop();
+}
+
+TEST(HttpExporter, FlightRoutesAre404WithoutARecorder) {
+  MetricsRegistry registry;
+  HttpExporter exporter([&registry] { return registry.snapshot(); });
+  const std::string events =
+      scrape(exporter.port(), "GET /debug/flight HTTP/1.1\r\n\r\n");
+  EXPECT_NE(events.find("404"), std::string::npos);
+  const std::string threads =
+      scrape(exporter.port(), "GET /debug/threads HTTP/1.1\r\n\r\n");
+  EXPECT_NE(threads.find("404"), std::string::npos);
+  exporter.stop();
 }
 
 }  // namespace

@@ -46,13 +46,29 @@
 //                         no records at all (a vacuous pass would hide a
 //                         sampling wiring bug).
 //
+//   --flight <file>       flight-recorder dump, either format:
+//                           * raw crash dump ("MFCPFLT1" magic): header
+//                             fields are sane, the file size matches
+//                             64 + ring_count*(16 + capacity*64) exactly
+//                             (no truncation), every live slot's sequence
+//                             number maps back to its slot index, and
+//                             kind/thread fields decode within range;
+//                           * JSONL dump (watchdog/shutdown): the first
+//                             record is flight_meta, every record is one
+//                             of flight_meta/heartbeat/event, no line is
+//                             truncated, per-thread event seqs are
+//                             strictly increasing, and kinds are drawn
+//                             from the recorder's closed vocabulary.
+//
 // Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage/IO.
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <set>
 #include <string>
@@ -572,12 +588,275 @@ int check_tasktraces(const std::string& path) {
   return failures == 0 ? 0 : 1;
 }
 
+// ----------------------------------------------------------- --flight --
+
+/// The recorder's closed kind vocabulary (mirrors obs::FlightKind; this
+/// tool revalidates the on-disk formats without linking the library).
+const char* const kFlightKinds[] = {
+    "none",         "round_begin", "round_end",   "batch_formed",
+    "solver_iters", "admission",   "rate_change", "http_begin",
+    "http_end",     "queue_transition", "retrain", "watchdog_stall",
+};
+constexpr std::size_t kFlightKindCount =
+    sizeof(kFlightKinds) / sizeof(kFlightKinds[0]);
+
+std::uint64_t read_u64le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+/// Raw crash dump: 64-byte header, then per ring [index u64, head u64] +
+/// capacity 64-byte slots of raw seqlock words. Written from a signal
+/// handler while other threads may still be recording, so slot checks
+/// allow a slot to run at most one full ring ahead of the captured head.
+int check_flight_raw(const std::string& path,
+                     const std::vector<unsigned char>& bytes) {
+  if (bytes.size() < 64) {
+    std::fprintf(stderr, "FAIL: flight dump shorter than its header\n");
+    ++failures;
+    return 1;
+  }
+  const std::uint64_t signal_number = read_u64le(&bytes[8]);
+  const std::uint64_t ring_count = read_u64le(&bytes[16]);
+  const std::uint64_t capacity = read_u64le(&bytes[24]);
+  const std::uint64_t event_bytes = read_u64le(&bytes[32]);
+  const std::uint64_t events_total = read_u64le(&bytes[40]);
+  const std::uint64_t dropped_total = read_u64le(&bytes[48]);
+  if (event_bytes != 64) {
+    std::fprintf(stderr, "FAIL: flight header event_bytes %llu != 64\n",
+                 static_cast<unsigned long long>(event_bytes));
+    ++failures;
+  }
+  // ring_count 0 is legal: the process crashed before any thread recorded
+  // an event, so the dump is just the header.
+  if (ring_count > 0xFFFF) {
+    std::fprintf(stderr, "FAIL: flight header ring_count %llu implausible\n",
+                 static_cast<unsigned long long>(ring_count));
+    ++failures;
+    return 1;
+  }
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: flight header ring capacity %llu not a power of "
+                 "two\n",
+                 static_cast<unsigned long long>(capacity));
+    ++failures;
+    return 1;
+  }
+  const std::uint64_t expected =
+      64 + ring_count * (16 + capacity * 64);
+  if (bytes.size() != expected) {
+    std::fprintf(stderr,
+                 "FAIL: flight dump truncated: %zu bytes, expected %llu "
+                 "(%llu rings x %llu slots)\n",
+                 bytes.size(), static_cast<unsigned long long>(expected),
+                 static_cast<unsigned long long>(ring_count),
+                 static_cast<unsigned long long>(capacity));
+    ++failures;
+    return 1;
+  }
+  std::size_t live_slots = 0;
+  for (std::uint64_t r = 0; r < ring_count; ++r) {
+    const std::size_t base =
+        64 + static_cast<std::size_t>(r * (16 + capacity * 64));
+    const std::uint64_t index = read_u64le(&bytes[base]);
+    const std::uint64_t head = read_u64le(&bytes[base + 8]);
+    if (index != r) {
+      std::fprintf(stderr, "FAIL: ring %llu header carries index %llu\n",
+                   static_cast<unsigned long long>(r),
+                   static_cast<unsigned long long>(index));
+      ++failures;
+    }
+    for (std::uint64_t s = 0; s < capacity; ++s) {
+      const unsigned char* slot =
+          &bytes[base + 16 + static_cast<std::size_t>(s) * 64];
+      const std::uint64_t seq = read_u64le(slot);
+      if (seq == 0) {
+        continue;  // empty, or caught mid-write by the crash
+      }
+      if ((seq - 1) % capacity != s) {
+        std::fprintf(stderr,
+                     "FAIL: ring %llu slot %llu holds seq %llu, which maps "
+                     "to slot %llu\n",
+                     static_cast<unsigned long long>(r),
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(seq),
+                     static_cast<unsigned long long>((seq - 1) % capacity));
+        ++failures;
+        continue;
+      }
+      if (seq > head + capacity) {
+        std::fprintf(stderr,
+                     "FAIL: ring %llu slot %llu seq %llu is more than one "
+                     "ring ahead of head %llu\n",
+                     static_cast<unsigned long long>(r),
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(seq),
+                     static_cast<unsigned long long>(head));
+        ++failures;
+        continue;
+      }
+      const std::uint64_t packed = read_u64le(slot + 56);
+      const std::uint64_t kind = packed & 0xFFFF;
+      const std::uint64_t thread = (packed >> 16) & 0xFFFF;
+      if (kind == 0 || kind >= kFlightKindCount) {
+        std::fprintf(stderr,
+                     "FAIL: ring %llu slot %llu carries unknown kind %llu\n",
+                     static_cast<unsigned long long>(r),
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(kind));
+        ++failures;
+      }
+      if (thread != r) {
+        std::fprintf(stderr,
+                     "FAIL: ring %llu slot %llu carries thread %llu\n",
+                     static_cast<unsigned long long>(r),
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(thread));
+        ++failures;
+      }
+      ++live_slots;
+    }
+  }
+  std::printf("flight raw dump %s: signal %llu, %llu rings x %llu slots, "
+              "%zu live events (%llu recorded, %llu dropped)\n",
+              path.c_str(), static_cast<unsigned long long>(signal_number),
+              static_cast<unsigned long long>(ring_count),
+              static_cast<unsigned long long>(capacity), live_slots,
+              static_cast<unsigned long long>(events_total),
+              static_cast<unsigned long long>(dropped_total));
+  return failures == 0 ? 0 : 1;
+}
+
+/// JSONL dump (watchdog stall / orderly shutdown): flight_meta first,
+/// then heartbeat and event records; per-thread seqs strictly increase.
+int check_flight_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open flight file %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t heartbeats = 0;
+  std::size_t events = 0;
+  bool meta_seen = false;
+  double meta_events_total = 0.0;
+  std::vector<std::uint64_t> last_seq;  // indexed by thread ordinal
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      fail("flight record truncated or not a JSON object", line_no, line);
+      continue;
+    }
+    const auto record = json_string_field(line, "record");
+    if (!record.has_value()) {
+      fail("flight record without a record tag", line_no, line);
+      continue;
+    }
+    if (*record == "flight_meta") {
+      if (meta_seen) {
+        fail("second flight_meta record", line_no, line);
+      }
+      if (line_no != 1) {
+        fail("flight_meta is not the first record", line_no, line);
+      }
+      meta_seen = true;
+      if (!json_string_field(line, "reason").has_value()) {
+        fail("flight_meta without a reason", line_no, line);
+      }
+      meta_events_total = json_field(line, "events_total").value_or(-1.0);
+      if (meta_events_total < 0.0 ||
+          !json_field(line, "ring_capacity").has_value() ||
+          !json_field(line, "threads").has_value()) {
+        fail("flight_meta missing counters", line_no, line);
+      }
+    } else if (*record == "heartbeat") {
+      ++heartbeats;
+      const auto name = json_string_field(line, "name");
+      if (!name.has_value() || name->empty()) {
+        fail("heartbeat record without a name", line_no, line);
+      }
+      if (!json_field(line, "age_seconds").has_value()) {
+        fail("heartbeat record without age_seconds", line_no, line);
+      }
+    } else if (*record == "event") {
+      ++events;
+      const auto thread = json_field(line, "thread");
+      const auto seq = json_field(line, "seq");
+      const auto kind = json_string_field(line, "kind");
+      if (!thread || !seq || !json_field(line, "wall_ns") ||
+          !json_field(line, "t_hours")) {
+        fail("event record missing fields", line_no, line);
+        continue;
+      }
+      bool known = false;
+      for (std::size_t i = 1; i < kFlightKindCount; ++i) {
+        if (kind.has_value() && *kind == kFlightKinds[i]) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        fail("event record with unknown kind", line_no, line);
+      }
+      const auto t = static_cast<std::size_t>(*thread);
+      if (t >= last_seq.size()) {
+        last_seq.resize(t + 1, 0);
+      }
+      if (*seq <= static_cast<double>(last_seq[t])) {
+        fail("per-thread event seq not strictly increasing", line_no, line);
+      }
+      last_seq[t] = static_cast<std::uint64_t>(*seq);
+    } else {
+      fail("unknown flight record tag '" + *record + "'", line_no, line);
+    }
+  }
+  if (!meta_seen) {
+    std::fprintf(stderr, "FAIL: flight file %s has no flight_meta record\n",
+                 path.c_str());
+    ++failures;
+  }
+  if (meta_seen && meta_events_total > 0.0 && events == 0) {
+    std::fprintf(stderr,
+                 "FAIL: flight_meta reports %.0f events but the dump "
+                 "carries none\n",
+                 meta_events_total);
+    ++failures;
+  }
+  std::printf("flight jsonl %s: %zu lines, %zu heartbeats, %zu events "
+              "across %zu threads\n",
+              path.c_str(), line_no, heartbeats, events, last_seq.size());
+  return failures == 0 ? 0 : 1;
+}
+
+int check_flight(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open flight file %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() >= 8 && std::memcmp(bytes.data(), "MFCPFLT1", 8) == 0) {
+    return check_flight_raw(path, bytes);
+  }
+  return check_flight_jsonl(path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string exposition_path;
   std::string journal_path;
   std::string tasktraces_path;
+  std::string flight_path;
   bool require_attribution = false;
   bool require_gateway = false;
   bool require_slo = false;
@@ -588,6 +867,8 @@ int main(int argc, char** argv) {
       journal_path = argv[++k];
     } else if (std::strcmp(argv[k], "--tasktraces") == 0 && k + 1 < argc) {
       tasktraces_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--flight") == 0 && k + 1 < argc) {
+      flight_path = argv[++k];
     } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
       require_attribution = true;
     } else if (std::strcmp(argv[k], "--require-gateway") == 0) {
@@ -597,14 +878,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--exposition <file>] [--journal <file>] "
-                   "[--tasktraces <file>] [--require-attribution] "
-                   "[--require-gateway] [--require-slo]\n",
+                   "[--tasktraces <file>] [--flight <file>] "
+                   "[--require-attribution] [--require-gateway] "
+                   "[--require-slo]\n",
                    argv[0]);
       return 2;
     }
   }
   if (exposition_path.empty() && journal_path.empty() &&
-      tasktraces_path.empty()) {
+      tasktraces_path.empty() && flight_path.empty()) {
     std::fprintf(stderr, "nothing to check (see --help usage)\n");
     return 2;
   }
@@ -618,6 +900,9 @@ int main(int argc, char** argv) {
   }
   if (!tasktraces_path.empty()) {
     rc = std::max(rc, check_tasktraces(tasktraces_path));
+  }
+  if (!flight_path.empty()) {
+    rc = std::max(rc, check_flight(flight_path));
   }
   if (rc == 0) {
     std::printf("obs_selfcheck: all checks passed\n");
