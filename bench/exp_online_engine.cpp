@@ -45,7 +45,15 @@
 //       ./build/bench/exp_online_engine --bench-json <path>
 //           writes a one-record machine-readable summary (rounds/s per
 //           mode, stage latency p50/p99, mean regret-attribution terms,
-//           telemetry + flight overhead percentages) for CI archiving.
+//           telemetry + flight + profiler overhead percentages) for CI
+//           archiving.
+//       ./build/bench/exp_online_engine --profile <path>
+//           samples the online-mode run at 97 Hz with the in-process CPU
+//           profiler and writes the folded flamegraph (stack lines +
+//           [stage_totals] anchors) to <path>. Sampling is telemetry-only,
+//           so the round journal stays byte-identical with it on — the CI
+//           determinism guard compares a --profile journal against the
+//           plain baseline.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -59,6 +67,7 @@
 #include "mfcp/trainer_tsm.hpp"
 #include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_store.hpp"
@@ -208,6 +217,7 @@ int main(int argc, char** argv) {
   bool flight_enabled = false;
   std::string journal_path = "online_engine.jsonl";
   std::string bench_json_path;
+  std::string profile_path;
   double trace_sample = 0.0;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--quick") == 0) {
@@ -223,13 +233,15 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[k], "--bench-json") == 0 && k + 1 < argc) {
       bench_json_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--profile") == 0 && k + 1 < argc) {
+      profile_path = argv[++k];
     } else if (std::strcmp(argv[k], "--trace-sample") == 0 && k + 1 < argc) {
       trace_sample = std::strtod(argv[++k], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--journal [path]] "
                    "[--trace-sample <rate>] [--ratekeeper] [--flight] "
-                   "[--bench-json <path>]\n",
+                   "[--bench-json <path>] [--profile <path>]\n",
                    argv[0]);
       return 2;
     }
@@ -292,6 +304,19 @@ int main(int argc, char** argv) {
   if (flight_enabled) {
     flight_rec = std::make_unique<obs::FlightRecorder>();
     obs::set_default_flight(flight_rec.get());
+  }
+  // In-process sampling profiler: the subject of both the --profile
+  // capture and the profiler-overhead measurement below, so it always
+  // exists. Declared before the pool (same ordering discipline as the
+  // flight recorder) so workers quiesce before the per-thread entries go
+  // away. It only becomes the process default — and thus visible to the
+  // engine and pool workers — under --profile or inside the overhead
+  // arms.
+  obs::ProfilerConfig prof_cfg;
+  prof_cfg.max_threads = 64;
+  obs::SamplingProfiler profiler(prof_cfg);
+  if (!profile_path.empty()) {
+    obs::set_default_profiler(&profiler);
   }
   ThreadPool pool;
   std::unique_ptr<obs::JsonlWriter> journal;
@@ -363,8 +388,20 @@ int main(int argc, char** argv) {
     }
     engine::OnlineEngine eng(run_cfg, scenario.platform, scenario.embedder,
                              predictor, &pool);
+    // --profile samples the online arm: the frozen arm has already walked
+    // every thread through registration (pool workers stay registered),
+    // and the main thread is re-registered here up front because threads
+    // that register mid-session only join the *next* session.
+    const bool profiled = !profile_path.empty() && online;
+    if (profiled) {
+      profiler.register_current_thread("engine");
+      profiler.start(97.0);
+    }
     Stopwatch watch;
     const engine::EngineResult result = eng.run();
+    if (profiled) {
+      profiler.stop();
+    }
 
     RunningStats pred_gap;
     RunningStats solver_gap;
@@ -472,6 +509,26 @@ int main(int argc, char** argv) {
     std::printf("task traces written to %s.tasktraces (%zu records)\n",
                 journal_path.c_str(), tasktraces_out->records_written());
   }
+  if (!profile_path.empty()) {
+    // Render before the overhead block below: its active arm runs fresh
+    // sessions that would reset the rings and stage totals.
+    const std::string folded = profiler.folded();
+    FILE* out = std::fopen(profile_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   profile_path.c_str());
+      return 2;
+    }
+    std::fwrite(folded.data(), 1, folded.size(), out);
+    std::fclose(out);
+    std::printf("profile written to %s (%llu samples across %zu threads, "
+                "%llu truncated)\n",
+                profile_path.c_str(),
+                static_cast<unsigned long long>(profiler.samples_total()),
+                profiler.threads_registered(),
+                static_cast<unsigned long long>(profiler.truncated_total()));
+    obs::set_default_profiler(nullptr);
+  }
   if (flight_rec != nullptr) {
     // Detach the process default before the overhead measurement below so
     // its "off" arm really runs recorder-free.
@@ -492,6 +549,8 @@ int main(int argc, char** argv) {
   double flight_overhead_pct = 0.0;
   double flight_off_best = 0.0;
   double flight_on_best = 0.0;
+  double profiler_idle_overhead_pct = 0.0;
+  double profiler_active_overhead_pct = 0.0;
   obs::RegistrySnapshot stage_snapshot;
   {
     const engine::EngineConfig overhead_cfg =
@@ -560,6 +619,53 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(recorder.events_total()),
                   flight_overhead_pct > 2.0 ? " — OVER BUDGET" : "");
     }
+
+    // Sampling-profiler overhead, three interleaved arms over the same
+    // instrumented engine: no profiler at all; profiler armed but idle
+    // (thread registration + TLS stage markers, no session — the cost of
+    // shipping with --profile and never hitting /debug/profile); and a
+    // live 97 Hz session for the whole run. Budgets: armed-idle <= 1%,
+    // active sampling <= 3%.
+    {
+      const std::uint64_t samples_before = profiler.samples_total();
+      double off_best = 0.0;
+      double idle_best = 0.0;
+      double active_best = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        obs::set_default_profiler(nullptr);
+        registry.reset();
+        const double off = timed_run(scenario, pretrained, overhead_cfg,
+                                     pool, &registry, &trace);
+        obs::set_default_profiler(&profiler);
+        registry.reset();
+        const double idle = timed_run(scenario, pretrained, overhead_cfg,
+                                      pool, &registry, &trace);
+        registry.reset();
+        profiler.start(97.0);
+        const double active = timed_run(scenario, pretrained, overhead_cfg,
+                                        pool, &registry, &trace);
+        profiler.stop();
+        off_best = r == 0 ? off : std::min(off_best, off);
+        idle_best = r == 0 ? idle : std::min(idle_best, idle);
+        active_best = r == 0 ? active : std::min(active_best, active);
+      }
+      obs::set_default_profiler(nullptr);
+      profiler_idle_overhead_pct =
+          100.0 * (idle_best - off_best) / off_best;
+      profiler_active_overhead_pct =
+          100.0 * (active_best - off_best) / off_best;
+      std::printf("profiler overhead: off %.3fs vs armed-idle %.3fs "
+                  "(%+.1f%%, budget 1%%)%s\n",
+                  off_best, idle_best, profiler_idle_overhead_pct,
+                  profiler_idle_overhead_pct > 1.0 ? " — OVER BUDGET" : "");
+      std::printf("profiler overhead: off %.3fs vs sampling@97Hz %.3fs "
+                  "(%+.1f%%, budget 3%%; %llu samples)%s\n",
+                  off_best, active_best, profiler_active_overhead_pct,
+                  static_cast<unsigned long long>(profiler.samples_total() -
+                                                  samples_before),
+                  profiler_active_overhead_pct > 3.0 ? " — OVER BUDGET"
+                                                     : "");
+    }
   }
 
   // Machine-readable one-record summary for CI archiving: throughput per
@@ -613,7 +719,9 @@ int main(int argc, char** argv) {
     summary.field("telemetry_overhead_pct", telemetry_overhead_pct)
         .field("flight_off_seconds", flight_off_best)
         .field("flight_on_seconds", flight_on_best)
-        .field("flight_overhead_pct", flight_overhead_pct);
+        .field("flight_overhead_pct", flight_overhead_pct)
+        .field("profiler_idle_overhead_pct", profiler_idle_overhead_pct)
+        .field("profiler_active_overhead_pct", profiler_active_overhead_pct);
     summary.end_record();
     summary.flush();
     std::printf("bench summary written to %s\n", bench_json_path.c_str());

@@ -59,6 +59,7 @@
 #include "obs/alert_webhook.hpp"
 #include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_store.hpp"
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
   double trace_sample = 0.0;  // task-lifecycle trace sampling rate [0,1]
   bool ratekeeper_on = false;
   bool flight_on = false;
+  bool profile_on = false;
   double stall_budget_seconds = 2.0;
   std::string slo_config_path;
   std::string alert_log_path;
@@ -124,6 +126,8 @@ int main(int argc, char** argv) {
       alert_webhook_url = argv[++k];
     } else if (std::strcmp(argv[k], "--flight") == 0) {
       flight_on = true;
+    } else if (std::strcmp(argv[k], "--profile") == 0) {
+      profile_on = true;
     } else if (std::strcmp(argv[k], "--stall-budget-seconds") == 0 &&
                k + 1 < argc) {
       stall_budget_seconds = std::atof(argv[++k]);
@@ -136,7 +140,8 @@ int main(int argc, char** argv) {
                    "          [--ratekeeper] [--slo-config FILE] "
                    "[--alert-log FILE]\n"
                    "          [--alert-webhook http://host:port/path]\n"
-                   "          [--flight] [--stall-budget-seconds S]\n",
+                   "          [--flight] [--stall-budget-seconds S] "
+                   "[--profile]\n",
                    argv[0]);
       return 2;
     }
@@ -270,6 +275,21 @@ int main(int argc, char** argv) {
                 flight->config().ring_capacity, stall_budget_seconds);
   }
 
+  // On-demand sampling profiler behind GET /debug/profile (gateway and
+  // exporter alike). Armed-idle cost is a null/epoch check per stage, so
+  // shipping with --profile on is cheap; a session only runs while a
+  // /debug/profile request is in flight. Declared before the thread pool
+  // so workers quiesce before the per-thread sample rings die.
+  std::optional<obs::SamplingProfiler> profiler;
+  if (profile_on) {
+    obs::ProfilerConfig prof_cfg;
+    prof_cfg.max_threads = 64;
+    profiler.emplace(prof_cfg);
+    obs::set_default_profiler(&*profiler);
+    std::printf("sampling profiler armed: GET /debug/profile?seconds=N"
+                "&hz=F returns folded stacks\n");
+  }
+
   // Ratekeeper: the closed-loop admission controller plus the per-client
   // token buckets it drives. Initial rate is sized from the batcher (a
   // few full batches per timeout window) and the wait target leaves one
@@ -311,10 +331,18 @@ int main(int argc, char** argv) {
     gateway_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
     // /debug routes + per-worker heartbeats when the recorder is armed
     // (observer declared before the gateway, so it outlives the server).
+    // The observer also runs recorder-free when only the profiler is on:
+    // it registers HTTP workers as sampling targets either way.
     std::optional<obs::FlightServerObserver> http_observer;
     if (flight.has_value()) {
       gateway_cfg.flight = &*flight;
-      http_observer.emplace(&*flight, "gateway");
+    }
+    if (profiler.has_value()) {
+      gateway_cfg.profiler = &*profiler;
+    }
+    if (flight.has_value() || profiler.has_value()) {
+      http_observer.emplace(flight.has_value() ? &*flight : nullptr,
+                            "gateway");
       gateway_cfg.http.observer = &*http_observer;
     }
     net::PlatformGateway gateway(link, &registry, &trace, gateway_cfg);
@@ -380,7 +408,13 @@ int main(int argc, char** argv) {
     std::optional<obs::FlightServerObserver> http_observer;
     if (flight.has_value()) {
       http_cfg.flight = &*flight;
-      http_observer.emplace(&*flight, "exporter");
+    }
+    if (profiler.has_value()) {
+      http_cfg.profiler = &*profiler;
+    }
+    if (flight.has_value() || profiler.has_value()) {
+      http_observer.emplace(flight.has_value() ? &*flight : nullptr,
+                            "exporter");
       http_cfg.observer = &*http_observer;
     }
     obs::HttpExporter exporter(
@@ -478,6 +512,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(flight->events_total()),
                 static_cast<unsigned long long>(flight->dropped_total()),
                 static_cast<unsigned long long>(flight->watchdog_stalls()));
+  }
+  if (profiler.has_value()) {
+    // Detach the process default before the profiler dies so late worker
+    // lookups resolve to null instead of a dying instance.
+    obs::set_default_profiler(nullptr);
+    std::printf("sampling profiler: %llu sessions, %llu samples across "
+                "%zu registered threads\n",
+                static_cast<unsigned long long>(profiler->sessions_total()),
+                static_cast<unsigned long long>(profiler->samples_total()),
+                profiler->threads_registered());
   }
   if (ratekeeper.has_value()) {
     const control::RatekeeperStatus rk = ratekeeper->status();

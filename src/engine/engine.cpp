@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -367,6 +368,13 @@ EngineResult OnlineEngine::run() {
   if (config_.flight != nullptr) {
     pulse = config_.flight->register_heartbeat("engine_run");
   }
+  // The round loop runs every stage on this thread (minus pool-offloaded
+  // solves, which the workers tag themselves), so it is the profiler's
+  // primary sampling target.
+  obs::SamplingProfiler* profiler = obs::default_profiler();
+  if (profiler != nullptr) {
+    profiler->register_current_thread("engine");
+  }
 
   for (;;) {
     pulse.beat();
@@ -423,6 +431,9 @@ EngineResult OnlineEngine::run() {
   }
 
   pulse.idle();
+  if (profiler != nullptr) {
+    profiler->unregister_current_thread();
+  }
   finalize(log, wall.seconds());
   return std::move(log.result);
 }
@@ -452,6 +463,10 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   obs::HeartbeatHandle pulse;
   if (config_.flight != nullptr) {
     pulse = config_.flight->register_heartbeat("engine_serve");
+  }
+  obs::SamplingProfiler* profiler = obs::default_profiler();
+  if (profiler != nullptr) {
+    profiler->register_current_thread("engine");
   }
   const double base_hours = clock_hours_;
   const auto sim_now = [&] {
@@ -567,6 +582,9 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
   }
 
   pulse.idle();
+  if (profiler != nullptr) {
+    profiler->unregister_current_thread();
+  }
   finalize(log, wall.seconds());
   link.note_queue_depth(queue_.depth());
   link.note_sim_time(clock_hours_);
@@ -628,7 +646,9 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
 
   Stopwatch predict_watch;
   obs::ScopedSpan embed_span(telemetry_.embed, "embed", config_.trace);
+  obs::StageScope embed_stage(obs::EngineStage::kEmbed);
   const Matrix features = embedder_.embed_batch(tasks);
+  embed_stage.close();
   embed_span.stop();
 
   matching::MatchingProblem truth;
@@ -638,8 +658,10 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   truth.speedup = config_.speedup;
 
   obs::ScopedSpan predict_span(telemetry_.predict, "predict", config_.trace);
+  obs::StageScope predict_stage(obs::EngineStage::kPredict);
   const Matrix t_hat = predictor_.predict_time_matrix(features);
   const Matrix a_hat = predictor_.predict_reliability_matrix(features);
+  predict_stage.close();
   predict_span.stop();
   const double predict_ns =
       any_traced ? predict_watch.seconds() * 1e9 : 0.0;
@@ -652,6 +674,7 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   // each pipeline stage can be priced separately afterwards.
   Stopwatch solve_watch;
   obs::ScopedSpan match_span(telemetry_.match, "match", config_.trace);
+  obs::StageScope match_stage(obs::EngineStage::kMatch);
   matching::Assignment deployed;
   matching::Assignment reference;
   core::DeployTrace deployed_trace;
@@ -659,10 +682,15 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   if (config_.attribution) {
     if (pool_ != nullptr) {
       auto deployed_fut = pool_->submit([&] {
+        // Pool workers carry their own TLS stage marker, so the solves
+        // they run for the match stage tag their samples themselves.
+        obs::StageScope stage(obs::EngineStage::kMatch);
         return core::deploy_matching_traced(predicted, config_.eval);
       });
-      auto reference_fut = pool_->submit(
-          [&] { return core::deploy_matching_traced(truth, config_.eval); });
+      auto reference_fut = pool_->submit([&] {
+        obs::StageScope stage(obs::EngineStage::kMatch);
+        return core::deploy_matching_traced(truth, config_.eval);
+      });
       deployed_trace = deployed_fut.get();
       reference_trace = reference_fut.get();
     } else {
@@ -672,16 +700,21 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
     deployed = deployed_trace.assignment;
     reference = reference_trace.assignment;
   } else if (pool_ != nullptr) {
-    auto deployed_fut = pool_->submit(
-        [&] { return core::deploy_matching(predicted, config_.eval); });
-    auto reference_fut = pool_->submit(
-        [&] { return core::deploy_matching(truth, config_.eval); });
+    auto deployed_fut = pool_->submit([&] {
+      obs::StageScope stage(obs::EngineStage::kMatch);
+      return core::deploy_matching(predicted, config_.eval);
+    });
+    auto reference_fut = pool_->submit([&] {
+      obs::StageScope stage(obs::EngineStage::kMatch);
+      return core::deploy_matching(truth, config_.eval);
+    });
     deployed = deployed_fut.get();
     reference = reference_fut.get();
   } else {
     deployed = core::deploy_matching(predicted, config_.eval);
     reference = core::deploy_matching(truth, config_.eval);
   }
+  match_stage.close();
   match_span.stop();
   const double solve_seconds = solve_watch.seconds();
   if (config_.attribution) {
@@ -733,8 +766,10 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   Stopwatch dispatch_watch;
   obs::ScopedSpan dispatch_span(telemetry_.dispatch, "dispatch",
                                 config_.trace);
+  obs::StageScope dispatch_stage(obs::EngineStage::kDispatch);
   const sim::ExecutionOutcome run = sim::execute_assignment(
       platform_, tasks, deployed, dispatch_rng_, /*max_attempts=*/2);
+  dispatch_stage.close();
   dispatch_span.stop();
   const double dispatch_ns =
       any_traced ? dispatch_watch.seconds() * 1e9 : 0.0;
@@ -846,6 +881,7 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
   if (config_.attribution) {
     obs::ScopedSpan attr_span(telemetry_.attribute, "attribute",
                               config_.trace);
+    obs::StageScope attr_stage(obs::EngineStage::kAttribute);
     core::AttributionConfig acfg;
     // Admission counterfactual: every arrival lost since the previous
     // round (capacity drops + deadline expiries), priced at its best-case

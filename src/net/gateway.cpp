@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "net/json.hpp"
+#include "obs/build_info.hpp"
 #include "obs/sinks.hpp"
 #include "support/stopwatch.hpp"
 
@@ -82,6 +83,11 @@ std::string_view route_label(const HttpRequest& request) {
     return "/debug/flight";
   }
   if (request.path == "/debug/threads") return "/debug/threads";
+  if (request.path == "/debug/profile" ||
+      request.path.rfind("/debug/profile?", 0) == 0) {
+    return "/debug/profile";
+  }
+  if (request.path == "/debug/build") return "/debug/build";
   return "other";
 }
 
@@ -207,6 +213,20 @@ HttpResponse handle_debug_threads(const obs::FlightRecorder* flight) {
     return error_json(404, "flight recorder disabled");
   }
   return json_response(200, obs::flight_threads_json(*flight));
+}
+
+HttpResponse handle_debug_profile(const HttpRequest& request,
+                                  obs::SamplingProfiler* profiler) {
+  // profile_route owns the whole status mapping (404 disabled, 400
+  // malformed query, 409 concurrent session, 200 folded stacks); the
+  // body is text/plain folded-flamegraph lines, not JSON.
+  obs::ProfileRouteResult result =
+      obs::profile_route(profiler, request.path);
+  return text_response(result.status, std::move(result.body));
+}
+
+HttpResponse handle_debug_build() {
+  return json_response(200, obs::build_info_json());
 }
 
 }  // namespace
@@ -453,7 +473,8 @@ HttpResponse route_gateway_request(const HttpRequest& request,
                                    obs::TraceStore* traces,
                                    const control::Ratekeeper* ratekeeper,
                                    const control::TokenBucketTable* buckets,
-                                   const obs::FlightRecorder* flight) {
+                                   const obs::FlightRecorder* flight,
+                                   obs::SamplingProfiler* profiler) {
   if (!request.valid) {
     return text_response(400, "bad request\n");
   }
@@ -489,6 +510,13 @@ HttpResponse route_gateway_request(const HttpRequest& request,
   if (request.path == "/debug/threads") {
     return handle_debug_threads(flight);
   }
+  if (request.path == "/debug/profile" ||
+      request.path.rfind("/debug/profile?", 0) == 0) {
+    return handle_debug_profile(request, profiler);
+  }
+  if (request.path == "/debug/build") {
+    return handle_debug_build();
+  }
   if (request.path == "/stats") {
     return json_response(200, service_stats_json(link.stats()));
   }
@@ -517,7 +545,8 @@ PlatformGateway::PlatformGateway(engine::GatewayLink& link,
       traces_(config.traces),
       ratekeeper_(config.ratekeeper),
       buckets_(config.buckets),
-      flight_(config.flight) {
+      flight_(config.flight),
+      profiler_(config.profiler) {
   if (registry_ != nullptr) {
     submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
                                             obs::default_time_bounds());
@@ -538,14 +567,16 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
     const Stopwatch submit_watch;
     obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_, ratekeeper_, buckets_, flight_);
+                                     traces_, ratekeeper_, buckets_, flight_,
+                                     profiler_);
     span.stop();
     if (slo_ != nullptr) {
       slo_->observe_submit(link_.sim_time_hours(), submit_watch.seconds());
     }
   } else {
     response = route_gateway_request(request, link_, registry_, slo_,
-                                     traces_, ratekeeper_, buckets_, flight_);
+                                     traces_, ratekeeper_, buckets_, flight_,
+                                     profiler_);
   }
   if (registry_ != nullptr) {
     registry_

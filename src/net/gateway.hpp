@@ -22,6 +22,13 @@
 //                       400 malformed filter, 404 recorder disabled
 //   GET  /debug/threads
 //                    -> 200 per-thread heartbeat ages + stall flags
+//   GET  /debug/profile[?seconds=&hz=]
+//                    -> 200 folded CPU profile from an on-demand sampling
+//                       session, 400 malformed params, 404 profiler
+//                       disabled, 409 while another session runs
+//   GET  /debug/build
+//                    -> 200 build provenance JSON (git sha, compiler,
+//                       build type, sanitizers)
 //   GET  /metrics    -> 200 Prometheus exposition of the shared registry
 //   GET  /healthz    -> 200 "ok\n"
 //
@@ -50,6 +57,7 @@
 #include "net/http_server.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_store.hpp"
@@ -109,7 +117,8 @@ struct SubmitParse {
     obs::TraceStore* traces = nullptr,
     const control::Ratekeeper* ratekeeper = nullptr,
     const control::TokenBucketTable* buckets = nullptr,
-    const obs::FlightRecorder* flight = nullptr);
+    const obs::FlightRecorder* flight = nullptr,
+    obs::SamplingProfiler* profiler = nullptr);
 
 struct GatewayConfig {
   HttpServerConfig http;
@@ -128,6 +137,9 @@ struct GatewayConfig {
   /// Borrowed, optional (404 when absent). To also heartbeat the HTTP
   /// workers, point `http.observer` at an obs::FlightServerObserver.
   const obs::FlightRecorder* flight = nullptr;
+  /// Sampling profiler behind GET /debug/profile. Borrowed, optional
+  /// (404 when absent); mutable because each request runs a session.
+  obs::SamplingProfiler* profiler = nullptr;
 };
 
 /// The running service: an HttpServer whose handler routes into `link`
@@ -166,6 +178,7 @@ class PlatformGateway {
   const control::Ratekeeper* ratekeeper_;
   const control::TokenBucketTable* buckets_;
   const obs::FlightRecorder* flight_;
+  obs::SamplingProfiler* profiler_;
   obs::Histogram* submit_seconds_ = nullptr;
   std::unique_ptr<HttpServer> server_;
 };

@@ -1,0 +1,72 @@
+#include "obs/build_info.hpp"
+
+namespace mfcp::obs {
+
+namespace {
+
+#ifndef MFCP_GIT_SHA
+#define MFCP_GIT_SHA "unknown"
+#endif
+#ifndef MFCP_BUILD_TYPE
+#define MFCP_BUILD_TYPE "unknown"
+#endif
+
+constexpr const char* kSanitizers =
+#if defined(__SANITIZE_ADDRESS__) && defined(__SANITIZE_THREAD__)
+    "address,thread";
+#elif defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_UNDEFINED__)
+    "address,undefined";
+#else
+    // GCC defines no macro for UBSan; CI's sanitizer job always pairs
+    // it with ASan, so report the pair whenever ASan is on.
+    "address,undefined";
+#endif
+#elif defined(__SANITIZE_THREAD__)
+    "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    "address,undefined";
+#elif __has_feature(thread_sanitizer)
+    "thread";
+#else
+    "none";
+#endif
+#else
+    "none";
+#endif
+
+}  // namespace
+
+std::string_view build_git_sha() noexcept { return MFCP_GIT_SHA; }
+
+std::string_view build_compiler() noexcept {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return __VERSION__;
+#endif
+}
+
+std::string_view build_type() noexcept { return MFCP_BUILD_TYPE; }
+
+std::string_view build_sanitizers() noexcept { return kSanitizers; }
+
+std::string build_info_json() {
+  // All four values are compile-time literals without quotes or control
+  // characters, so plain concatenation stays valid JSON.
+  std::string out = "{\"git_sha\":\"";
+  out += build_git_sha();
+  out += "\",\"compiler\":\"";
+  out += build_compiler();
+  out += "\",\"build_type\":\"";
+  out += build_type();
+  out += "\",\"sanitizers\":\"";
+  out += build_sanitizers();
+  out += "\"}\n";
+  return out;
+}
+
+}  // namespace mfcp::obs

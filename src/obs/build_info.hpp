@@ -1,0 +1,30 @@
+// Build provenance for the /debug/build route: every profile, bench
+// JSON, and crash dump should be attributable to an exact binary. The
+// values are baked in at compile time (git sha and build type by CMake,
+// compiler and sanitizer flags by predefined macros), so the route
+// works even when the binary runs far from its source checkout.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mfcp::obs {
+
+/// Abbreviated git commit the binary was configured from; "unknown"
+/// when the source tree was not a git checkout at configure time.
+[[nodiscard]] std::string_view build_git_sha() noexcept;
+
+/// Compiler identification (the __VERSION__ the binary was built with).
+[[nodiscard]] std::string_view build_compiler() noexcept;
+
+/// CMake build type ("Release", "Debug", ...).
+[[nodiscard]] std::string_view build_type() noexcept;
+
+/// Comma-separated sanitizer list compiled into the binary ("none",
+/// "address,undefined", ...). Detected from compiler-predefined macros.
+[[nodiscard]] std::string_view build_sanitizers() noexcept;
+
+/// JSON body of GET /debug/build, shared by the gateway and exporter.
+[[nodiscard]] std::string build_info_json();
+
+}  // namespace mfcp::obs

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/profiler.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_store.hpp"
@@ -741,6 +742,14 @@ FlightServerObserver::FlightServerObserver(FlightRecorder* recorder,
     : recorder_(recorder), prefix_(std::move(name_prefix)) {}
 
 void FlightServerObserver::on_worker_start(std::size_t worker) {
+  // HTTP workers are sampling targets too (a hot /metrics scrape or a
+  // slow route shows up in profiles); registration is by process-wide
+  // default so profiler-only setups reuse this observer with a null
+  // recorder.
+  if (SamplingProfiler* profiler = default_profiler()) {
+    profiler->register_current_thread(prefix_ + "_worker_" +
+                                      std::to_string(worker));
+  }
   if (recorder_ == nullptr) {
     return;
   }

@@ -1,6 +1,7 @@
 #include "obs/http_exporter.hpp"
 
 #include "net/http.hpp"
+#include "obs/build_info.hpp"
 #include "obs/sinks.hpp"
 
 namespace mfcp::obs {
@@ -12,7 +13,8 @@ namespace {
 /// recorder, so its pre-flight response bytes are unchanged).
 net::HttpResponse route(const std::string& method, const std::string& path,
                         const HttpExporter::SnapshotFn& snapshot,
-                        const FlightRecorder* flight) {
+                        const FlightRecorder* flight,
+                        SamplingProfiler* profiler) {
   if (method != "GET") {
     net::HttpResponse r = net::text_response(405, "method not allowed\n");
     r.headers.emplace_back("Allow", "GET");
@@ -45,6 +47,20 @@ net::HttpResponse route(const std::string& method, const std::string& path,
     r.content_type = "application/json";
     return r;
   }
+  if (profiler != nullptr &&
+      (path == "/debug/profile" ||
+       path.rfind("/debug/profile?", 0) == 0)) {
+    // Blocks this worker for the session duration by design: the other
+    // worker keeps serving scrapes, and concurrent profile requests are
+    // refused with 409 inside profile_route.
+    ProfileRouteResult result = profile_route(profiler, path);
+    return net::text_response(result.status, std::move(result.body));
+  }
+  if (path == "/debug/build") {
+    net::HttpResponse r = net::text_response(200, build_info_json());
+    r.content_type = "application/json";
+    return r;
+  }
   return net::text_response(404, "not found\n");
 }
 
@@ -71,11 +87,13 @@ std::string HttpExporter::respond(const Request& request,
         net::text_response(404, "bad request\n"));
   }
   return net::serialize_response(
-      route(request.method, request.path, snapshot, nullptr));
+      route(request.method, request.path, snapshot, nullptr, nullptr));
 }
 
 HttpExporter::HttpExporter(SnapshotFn snapshot, HttpExporterConfig config)
-    : snapshot_(std::move(snapshot)), flight_(config.flight) {
+    : snapshot_(std::move(snapshot)),
+      flight_(config.flight),
+      profiler_(config.profiler) {
   net::HttpServerConfig server_config;
   server_config.bind_address = std::move(config.bind_address);
   server_config.port = config.port;
@@ -85,7 +103,8 @@ HttpExporter::HttpExporter(SnapshotFn snapshot, HttpExporterConfig config)
   server_config.observer = config.observer;
   server_ = std::make_unique<net::HttpServer>(
       [this](const net::HttpRequest& request) {
-        return route(request.method, request.path, snapshot_, flight_);
+        return route(request.method, request.path, snapshot_, flight_,
+                     profiler_);
       },
       server_config);
 }

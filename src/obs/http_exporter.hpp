@@ -7,6 +7,10 @@
 //                          recorder is configured; filterable via
 //                          ?thread=&kind=&limit=, 400 on a bad filter)
 //   GET /debug/threads  -> 200, per-thread heartbeat ages + stall flags
+//   GET /debug/profile  -> 200, folded CPU profile (?seconds=&hz=; when a
+//                          profiler is configured; 400 on bad params,
+//                          409 while another session runs)
+//   GET /debug/build    -> 200, build provenance (git sha, compiler, ...)
 //   GET <other>         -> 404;  non-GET -> 405
 //
 // The exporter pulls: each scrape invokes the caller-supplied snapshot
@@ -30,6 +34,7 @@
 #include "net/http_server.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace mfcp::obs {
 
@@ -50,6 +55,9 @@ struct HttpExporterConfig {
   /// Borrowed, optional (404 when absent — the static respond() surface
   /// never sees these routes, so its pinned bytes are untouched).
   const FlightRecorder* flight = nullptr;
+  /// Sampling profiler behind GET /debug/profile. Borrowed, optional
+  /// (404 when absent); mutable because a scrape runs a session.
+  SamplingProfiler* profiler = nullptr;
   /// Worker lifecycle hooks forwarded to the underlying net::HttpServer
   /// (e.g. an obs::FlightServerObserver for watchdog heartbeats).
   net::ServerObserver* observer = nullptr;
@@ -101,6 +109,7 @@ class HttpExporter {
  private:
   SnapshotFn snapshot_;
   const FlightRecorder* flight_ = nullptr;
+  SamplingProfiler* profiler_ = nullptr;
   std::unique_ptr<net::HttpServer> server_;
 };
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 
 namespace mfcp {
 
@@ -48,18 +49,40 @@ void ThreadPool::worker_loop(std::size_t worker) {
                   : obs::HeartbeatHandle();
     }
   };
+  // Sampling-profiler registration, same generation discipline: workers
+  // run the offloaded match solves, so their stacks belong in profiles.
+  // The profiler (like the recorder) must outlive the pool; re-resolving
+  // by generation keeps a worker from touching a replaced instance.
+  std::uint64_t profiler_generation = 0;
+  const auto resolve_profiler = [&] {
+    const std::uint64_t generation = obs::default_profiler_generation();
+    if (generation != profiler_generation || generation == 0) {
+      profiler_generation = generation;
+      if (obs::SamplingProfiler* profiler = obs::default_profiler()) {
+        profiler->register_current_thread("pool_worker_" +
+                                          std::to_string(worker));
+      }
+    }
+  };
   for (;;) {
     std::function<void()> task;
     std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       resolve_pulse();
+      resolve_profiler();
       pulse.idle();  // a parked worker is not a stall
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) {
-        return;  // stop_ and drained
+        // stop_ and drained: detach from the current profiler (if any)
+        // so no future session targets this exiting thread's id.
+        if (obs::SamplingProfiler* profiler = obs::default_profiler()) {
+          profiler->unregister_current_thread();
+        }
+        return;
       }
       resolve_pulse();  // the park may have outlived the recorder
+      resolve_profiler();
       pulse.beat();
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -22,6 +22,12 @@ namespace mfcp::support {
 std::size_t format_u64_decimal(char* buf, std::size_t cap,
                                std::uint64_t value) noexcept;
 
+/// Signed variant: renders `value` (including INT64_MIN, whose
+/// magnitude does not fit in int64_t) with a leading '-' when negative.
+/// Returns bytes written, 0 when `cap` cannot hold the full rendering.
+std::size_t format_i64_decimal(char* buf, std::size_t cap,
+                               std::int64_t value) noexcept;
+
 /// Renders `value` as exactly 16 lower-case hex digits (no NUL, no "0x").
 /// Returns 16, or 0 when `cap` < 16.
 std::size_t format_u64_hex(char* buf, std::size_t cap,

@@ -23,6 +23,7 @@
 #include "net/json.hpp"
 #include "obs/alert_webhook.hpp"
 #include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 
 namespace mfcp::net {
 namespace {
@@ -934,6 +935,63 @@ TEST(GatewayRoute, FlightDebugRoutesServeAndFilter) {
                                   link, nullptr)
                 .status,
             404);
+}
+
+// ----------------------------------------- profiler + build routes --
+
+TEST(GatewayRoute, ProfileRouteStatusesMatchWiring) {
+  engine::GatewayLink link;
+
+  // Without a profiler the route is absent, not empty.
+  EXPECT_EQ(route_gateway_request(make_request("GET", "/debug/profile"),
+                                  link, nullptr)
+                .status,
+            404);
+
+  obs::SamplingProfiler profiler;
+  profiler.register_current_thread("gateway_route_test");
+
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/debug/profile?seconds=99"), link,
+                nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
+                &profiler)
+                .status,
+            400);
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/debug/profile?bogus=1"), link,
+                nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
+                &profiler)
+                .status,
+            400);
+
+  const HttpResponse ok = route_gateway_request(
+      make_request("GET", "/debug/profile?seconds=0.05&hz=100"), link,
+      nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, &profiler);
+  ASSERT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("[stage_totals];"), std::string::npos);
+
+  // A concurrent session answers 409 and leaves it running.
+  ASSERT_TRUE(profiler.start(50.0));
+  EXPECT_EQ(route_gateway_request(
+                make_request("GET", "/debug/profile?seconds=0.05"), link,
+                nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
+                &profiler)
+                .status,
+            409);
+  EXPECT_TRUE(profiler.session_active());
+  profiler.stop();
+  profiler.unregister_current_thread();
+}
+
+TEST(GatewayRoute, BuildRouteReportsProvenance) {
+  engine::GatewayLink link;
+  const HttpResponse build = route_gateway_request(
+      make_request("GET", "/debug/build"), link, nullptr);
+  ASSERT_EQ(build.status, 200);
+  EXPECT_NE(build.body.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(build.body.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(build.body.find("\"build_type\":\""), std::string::npos);
+  EXPECT_NE(build.body.find("\"sanitizers\":\""), std::string::npos);
 }
 
 // ------------------------------------------------- webhook delivery --

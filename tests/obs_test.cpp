@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -24,9 +25,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/flight.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
@@ -1227,6 +1230,302 @@ TEST(HttpExporter, FlightRoutesAre404WithoutARecorder) {
   const std::string threads =
       scrape(exporter.port(), "GET /debug/threads HTTP/1.1\r\n\r\n");
   EXPECT_NE(threads.find("404"), std::string::npos);
+  exporter.stop();
+}
+
+// ------------------------------------------------------------ profiler --
+
+TEST(Profiler, StageScopeNestsAndRestores) {
+  EXPECT_EQ(current_stage(), EngineStage::kNone);
+  {
+    StageScope outer(EngineStage::kMatch);
+    EXPECT_EQ(current_stage(), EngineStage::kMatch);
+    {
+      StageScope inner(EngineStage::kPredict);
+      EXPECT_EQ(current_stage(), EngineStage::kPredict);
+    }
+    EXPECT_EQ(current_stage(), EngineStage::kMatch);
+  }
+  EXPECT_EQ(current_stage(), EngineStage::kNone);
+}
+
+TEST(Profiler, StageScopeCloseIsIdempotent) {
+  StageScope scope(EngineStage::kEmbed);
+  EXPECT_EQ(current_stage(), EngineStage::kEmbed);
+  scope.close();
+  EXPECT_EQ(current_stage(), EngineStage::kNone);
+  scope.close();  // second close must not pop anything else
+  EXPECT_EQ(current_stage(), EngineStage::kNone);
+}
+
+TEST(Profiler, StageNamesRoundTrip) {
+  EXPECT_EQ(to_string(EngineStage::kNone), "none");
+  EXPECT_EQ(to_string(EngineStage::kEmbed), "embed");
+  EXPECT_EQ(to_string(EngineStage::kPredict), "predict");
+  EXPECT_EQ(to_string(EngineStage::kMatch), "match");
+  EXPECT_EQ(to_string(EngineStage::kAttribute), "attribute");
+  EXPECT_EQ(to_string(EngineStage::kDispatch), "dispatch");
+}
+
+TEST(SampleRing, RecordsAndSnapshotsInOrder) {
+  SampleRing ring(8);
+  int markers[3];
+  const void* pcs[3] = {&markers[0], &markers[1], &markers[2]};
+  ring.record(EngineStage::kMatch, 7, pcs, 3);
+  ring.record(EngineStage::kEmbed, 7, pcs, 1);
+  const auto samples = ring.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].stage, EngineStage::kMatch);
+  EXPECT_EQ(samples[0].thread, 7);
+  ASSERT_EQ(samples[0].pcs.size(), 3u);
+  EXPECT_EQ(samples[0].pcs[1], pcs[1]);
+  EXPECT_EQ(samples[1].stage, EngineStage::kEmbed);
+  ASSERT_EQ(samples[1].pcs.size(), 1u);
+}
+
+TEST(SampleRing, WrapsKeepingTheNewestWindow) {
+  SampleRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  int marker = 0;
+  const void* pcs[1] = {&marker};
+  for (int i = 0; i < 20; ++i) {
+    ring.record(EngineStage::kNone, static_cast<std::uint16_t>(i), pcs, 1);
+  }
+  EXPECT_EQ(ring.head(), 20u);
+  const auto samples = ring.snapshot();
+  ASSERT_EQ(samples.size(), 8u);
+  // Oldest surviving sample is #13 (thread tag 12), newest #20.
+  EXPECT_EQ(samples.front().thread, 12);
+  EXPECT_EQ(samples.back().thread, 19);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].seq, samples[i - 1].seq + 1);
+  }
+}
+
+TEST(SampleRing, ResetEmptiesTheWindow) {
+  SampleRing ring(8);
+  int marker = 0;
+  const void* pcs[1] = {&marker};
+  ring.record(EngineStage::kNone, 0, pcs, 1);
+  ring.reset();
+  EXPECT_EQ(ring.head(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SampleRing, TruncatesDepthToMaxFrames) {
+  SampleRing ring(4);
+  int markers[kMaxSampleFrames + 8];
+  const void* pcs[kMaxSampleFrames + 8];
+  for (std::size_t i = 0; i < kMaxSampleFrames + 8; ++i) {
+    pcs[i] = &markers[i];
+  }
+  ring.record(EngineStage::kNone, 0, pcs, kMaxSampleFrames + 8);
+  const auto samples = ring.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].pcs.size(), kMaxSampleFrames);
+}
+
+TEST(ProfileQuery, DefaultsAndValidParses) {
+  const ProfileQuery bare = parse_profile_query("/debug/profile");
+  EXPECT_TRUE(bare.valid);
+  EXPECT_DOUBLE_EQ(bare.seconds, 2.0);
+  EXPECT_DOUBLE_EQ(bare.hz, 97.0);
+
+  const ProfileQuery full =
+      parse_profile_query("/debug/profile?seconds=0.5&hz=250");
+  EXPECT_TRUE(full.valid);
+  EXPECT_DOUBLE_EQ(full.seconds, 0.5);
+  EXPECT_DOUBLE_EQ(full.hz, 250.0);
+}
+
+TEST(ProfileQuery, RejectsMalformedAndOutOfRange) {
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds=0").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds=31").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds=-1").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds=abc").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds=").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?hz=0.5").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?hz=1001").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?hz=nan").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?bogus=1").valid);
+  EXPECT_FALSE(parse_profile_query("/debug/profile?seconds").valid);
+  EXPECT_FALSE(
+      parse_profile_query("/debug/profile?seconds=1&&hz=97").valid);
+}
+
+TEST(Profiler, RejectsBadSessionRates) {
+  SamplingProfiler profiler;
+  EXPECT_FALSE(profiler.start(0.0));
+  EXPECT_FALSE(profiler.start(-5.0));
+  EXPECT_FALSE(profiler.start(1001.0));
+}
+
+TEST(Profiler, OneSessionAtATime) {
+  SamplingProfiler profiler;
+  ASSERT_TRUE(profiler.start(10.0));
+  EXPECT_TRUE(profiler.session_active());
+  EXPECT_FALSE(profiler.start(10.0));
+  profiler.stop();
+  EXPECT_FALSE(profiler.session_active());
+  EXPECT_TRUE(profiler.start(10.0));
+  profiler.stop();
+  EXPECT_EQ(profiler.sessions_total(), 2u);
+}
+
+TEST(Profiler, SamplesABusyRegisteredThread) {
+  SamplingProfiler profiler;
+  ASSERT_TRUE(profiler.register_current_thread("busy_thread"));
+  EXPECT_EQ(profiler.threads_registered(), 1u);
+  ASSERT_TRUE(profiler.start(500.0));
+  // Burn CPU inside a tagged stage so the per-thread CPU-clock timer
+  // fires: ~150ms of arithmetic at 500 Hz is ~75 expected samples.
+  volatile double sink = 0.0;
+  {
+    StageScope stage(EngineStage::kMatch);
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
+    while (std::chrono::steady_clock::now() < until) {
+      for (int i = 0; i < 1000; ++i) {
+        sink = sink + std::sqrt(static_cast<double>(i));
+      }
+    }
+  }
+  profiler.stop();
+  EXPECT_GT(profiler.samples_total(), 0u);
+
+  const std::string folded = profiler.folded();
+  EXPECT_NE(folded.find("busy_thread;"), std::string::npos);
+  EXPECT_NE(folded.find(";stage:"), std::string::npos);
+  // Exact-accounting anchors cover every engine stage even though only
+  // kMatch ran.
+  EXPECT_NE(folded.find("[stage_totals];embed "), std::string::npos);
+  EXPECT_NE(folded.find("[stage_totals];predict "), std::string::npos);
+  EXPECT_NE(folded.find("[stage_totals];match "), std::string::npos);
+  EXPECT_NE(folded.find("[stage_totals];attribute "), std::string::npos);
+  EXPECT_NE(folded.find("[stage_totals];dispatch "), std::string::npos);
+  // Every folded line is "stack count" with a positive trailing integer.
+  std::istringstream lines(folded);
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const long count = std::strtol(line.c_str() + space + 1, nullptr, 10);
+    EXPECT_GT(count, 0) << line;
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 5u);
+  profiler.unregister_current_thread();
+  EXPECT_EQ(profiler.threads_registered(), 1u);  // entry stays, inactive
+}
+
+TEST(Profiler, CollectFoldedRunsAWholeSession) {
+  SamplingProfiler profiler;
+  profiler.register_current_thread("collector");
+  const auto folded = profiler.collect_folded(0.05, 200.0);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_FALSE(profiler.session_active());
+  EXPECT_NE(folded->find("[stage_totals];match "), std::string::npos);
+  profiler.unregister_current_thread();
+}
+
+TEST(Profiler, ProfileRouteStatusCodes) {
+  EXPECT_EQ(profile_route(nullptr, "/debug/profile").status, 404);
+
+  SamplingProfiler profiler;
+  profiler.register_current_thread("route_thread");
+  EXPECT_EQ(profile_route(&profiler, "/debug/profile?seconds=0").status,
+            400);
+  EXPECT_EQ(profile_route(&profiler, "/debug/profile?x=1").status, 400);
+
+  const ProfileRouteResult ok =
+      profile_route(&profiler, "/debug/profile?seconds=0.05&hz=100");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("[stage_totals];"), std::string::npos);
+
+  // A session already in flight answers 409 without disturbing it.
+  ASSERT_TRUE(profiler.start(50.0));
+  const ProfileRouteResult busy =
+      profile_route(&profiler, "/debug/profile?seconds=0.05&hz=100");
+  EXPECT_EQ(busy.status, 409);
+  EXPECT_TRUE(profiler.session_active());
+  profiler.stop();
+  profiler.unregister_current_thread();
+}
+
+TEST(Profiler, DefaultProfilerBumpsGeneration) {
+  EXPECT_EQ(default_profiler(), nullptr);
+  const std::uint64_t before = default_profiler_generation();
+  SamplingProfiler profiler;
+  set_default_profiler(&profiler);
+  EXPECT_EQ(default_profiler(), &profiler);
+  EXPECT_GT(default_profiler_generation(), before);
+  set_default_profiler(nullptr);
+  EXPECT_EQ(default_profiler(), nullptr);
+  EXPECT_GT(default_profiler_generation(), before + 1);
+}
+
+TEST(Profiler, RegistrationBeyondMaxThreadsIsDropped) {
+  ProfilerConfig config;
+  config.max_threads = 1;
+  SamplingProfiler profiler(config);
+  EXPECT_TRUE(profiler.register_current_thread("only"));
+  std::thread extra([&profiler] {
+    EXPECT_FALSE(profiler.register_current_thread("overflow"));
+  });
+  extra.join();
+  EXPECT_EQ(profiler.dropped_registrations(), 1u);
+  profiler.unregister_current_thread();
+}
+
+TEST(BuildInfo, CarriesProvenanceFields) {
+  const std::string json = build_info_json();
+  EXPECT_NE(json.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizers\":\""), std::string::npos);
+  EXPECT_FALSE(build_git_sha().empty());
+  EXPECT_FALSE(build_compiler().empty());
+}
+
+TEST(HttpExporter, ServesProfileAndBuildRoutes) {
+  MetricsRegistry registry;
+  SamplingProfiler profiler;
+  profiler.register_current_thread("exporter_test");
+  HttpExporterConfig config;
+  config.profiler = &profiler;
+  HttpExporter exporter([&registry] { return registry.snapshot(); },
+                        config);
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string build =
+      scrape(exporter.port(), "GET /debug/build HTTP/1.1\r\n\r\n");
+  EXPECT_NE(build.find("200 OK"), std::string::npos);
+  EXPECT_NE(build.find("\"git_sha\""), std::string::npos);
+
+  const std::string bad = scrape(
+      exporter.port(), "GET /debug/profile?seconds=99 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+
+  const std::string ok = scrape(
+      exporter.port(),
+      "GET /debug/profile?seconds=0.05&hz=50 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("[stage_totals];"), std::string::npos);
+  exporter.stop();
+  profiler.unregister_current_thread();
+}
+
+TEST(HttpExporter, ProfileRouteAnswers404WithoutAProfiler) {
+  MetricsRegistry registry;
+  HttpExporter exporter([&registry] { return registry.snapshot(); });
+  const std::string none =
+      scrape(exporter.port(), "GET /debug/profile HTTP/1.1\r\n\r\n");
+  EXPECT_NE(none.find("404"), std::string::npos);
+  // /debug/build is unconditional: provenance never depends on wiring.
+  const std::string build =
+      scrape(exporter.port(), "GET /debug/build HTTP/1.1\r\n\r\n");
+  EXPECT_NE(build.find("200 OK"), std::string::npos);
   exporter.stop();
 }
 

@@ -8,6 +8,7 @@
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
+#include "support/signal_safe.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -338,6 +339,84 @@ TEST(Stopwatch, ResetRestartsClock) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   w.reset();
   EXPECT_LT(w.seconds(), 0.015);
+}
+
+// ---------------------------------------------------------- signal_safe --
+
+TEST(SignalSafe, FormatU64Decimal) {
+  char buf[32];
+  EXPECT_EQ(support::format_u64_decimal(buf, sizeof(buf), 0), 1u);
+  EXPECT_EQ(std::string(buf, 1), "0");
+  EXPECT_EQ(support::format_u64_decimal(buf, sizeof(buf), 90210), 5u);
+  EXPECT_EQ(std::string(buf, 5), "90210");
+  EXPECT_EQ(support::format_u64_decimal(buf, sizeof(buf), UINT64_MAX), 20u);
+  EXPECT_EQ(std::string(buf, 20), "18446744073709551615");
+}
+
+TEST(SignalSafe, FormatU64DecimalNeverPartialAtBufferBoundary) {
+  char buf[32];
+  // 90210 needs 5 bytes: exactly enough succeeds, one short writes
+  // nothing at all (a partial number in a crash dump is worse than none).
+  EXPECT_EQ(support::format_u64_decimal(buf, 5, 90210), 5u);
+  buf[0] = 'x';
+  EXPECT_EQ(support::format_u64_decimal(buf, 4, 90210), 0u);
+  EXPECT_EQ(buf[0], 'x');
+  EXPECT_EQ(support::format_u64_decimal(buf, 0, 7), 0u);
+}
+
+TEST(SignalSafe, FormatI64DecimalSignsAndZero) {
+  char buf[32];
+  EXPECT_EQ(support::format_i64_decimal(buf, sizeof(buf), 0), 1u);
+  EXPECT_EQ(std::string(buf, 1), "0");
+  EXPECT_EQ(support::format_i64_decimal(buf, sizeof(buf), 42), 2u);
+  EXPECT_EQ(std::string(buf, 2), "42");
+  EXPECT_EQ(support::format_i64_decimal(buf, sizeof(buf), -42), 3u);
+  EXPECT_EQ(std::string(buf, 3), "-42");
+}
+
+TEST(SignalSafe, FormatI64DecimalInt64Min) {
+  // INT64_MIN's magnitude does not fit in int64_t, so a naive -value
+  // negation is UB; the formatter must go through unsigned arithmetic.
+  char buf[32];
+  const std::size_t n =
+      support::format_i64_decimal(buf, sizeof(buf), INT64_MIN);
+  EXPECT_EQ(n, 20u);
+  EXPECT_EQ(std::string(buf, n), "-9223372036854775808");
+  EXPECT_EQ(support::format_i64_decimal(buf, sizeof(buf), INT64_MAX), 19u);
+  EXPECT_EQ(std::string(buf, 19), "9223372036854775807");
+}
+
+TEST(SignalSafe, FormatI64DecimalNeverPartialAtBufferBoundary) {
+  char buf[32];
+  // "-42" needs 3 bytes; 2 must emit nothing (not a bare '-' or "42").
+  EXPECT_EQ(support::format_i64_decimal(buf, 3, -42), 3u);
+  buf[0] = 'x';
+  EXPECT_EQ(support::format_i64_decimal(buf, 2, -42), 0u);
+  EXPECT_EQ(buf[0], 'x');
+  EXPECT_EQ(support::format_i64_decimal(buf, 1, -1), 0u);
+  EXPECT_EQ(support::format_i64_decimal(buf, 0, -1), 0u);
+  EXPECT_EQ(support::format_i64_decimal(buf, 19, INT64_MIN), 0u);
+  EXPECT_EQ(support::format_i64_decimal(buf, 20, INT64_MIN), 20u);
+}
+
+TEST(SignalSafe, FormatU64HexFixedWidth) {
+  char buf[32];
+  EXPECT_EQ(support::format_u64_hex(buf, sizeof(buf), 0), 16u);
+  EXPECT_EQ(std::string(buf, 16), "0000000000000000");
+  EXPECT_EQ(support::format_u64_hex(buf, sizeof(buf), 0xdeadbeefULL), 16u);
+  EXPECT_EQ(std::string(buf, 16), "00000000deadbeef");
+  EXPECT_EQ(support::format_u64_hex(buf, 15, 1), 0u);
+}
+
+TEST(SignalSafe, AppendLiteralStopsAtCapacity) {
+  char buf[8];
+  std::size_t pos = support::append_literal(buf, sizeof(buf), 0, "abc");
+  EXPECT_EQ(pos, 3u);
+  pos = support::append_literal(buf, sizeof(buf), pos, "defgh");
+  EXPECT_EQ(pos, 8u);
+  EXPECT_EQ(std::string(buf, 8), "abcdefgh");
+  // Full buffer: nothing fits, position unchanged (never partial).
+  EXPECT_EQ(support::append_literal(buf, sizeof(buf), pos, "i"), 8u);
 }
 
 }  // namespace

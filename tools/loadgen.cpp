@@ -56,6 +56,10 @@ struct Options {
   /// submits as "client-<w mod clients>"). 0 = no client field, so every
   /// submission lands in the gateway's anonymous bucket.
   int clients = 0;
+  /// When set, the final report is also written as one JSON line — the
+  /// same numbers the human-readable loadgen: lines print — so CI can
+  /// archive and diff runs without scraping stdout.
+  std::string report_json_path;
 };
 
 /// One accepted submit, kept so the report can attribute its slowest
@@ -219,7 +223,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --port P [--host H] [--concurrency N] [--rate R]\n"
       "          [--duration-seconds S] [--drain-seconds S]\n"
-      "          [--timeout-ms MS] [--seed N] [--clients K]\n",
+      "          [--timeout-ms MS] [--seed N] [--clients K]\n"
+      "          [--report-json <path>]\n",
       argv0);
   return 2;
 }
@@ -248,6 +253,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(argv[++k], nullptr, 10);
     } else if (std::strcmp(argv[k], "--clients") == 0 && k + 1 < argc) {
       opt.clients = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--report-json") == 0 && k + 1 < argc) {
+      opt.report_json_path = argv[++k];
     } else {
       return usage(argv[0]);
     }
@@ -412,6 +419,43 @@ int main(int argc, char** argv) {
               " rejected=%" PRIu64 " : %s\n",
               submitted, queued, matched, dispatched, expired, rejected,
               conserved ? "OK" : "FAILED");
+
+  if (!opt.report_json_path.empty()) {
+    FILE* report = std::fopen(opt.report_json_path.c_str(), "w");
+    if (report == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write report to %s\n",
+                   opt.report_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        report,
+        "{\"record\":\"loadgen_report\",\"requests\":%" PRIu64
+        ",\"accepted\":%" PRIu64 ",\"rejected_429\":%" PRIu64
+        ",\"throttled_429\":%" PRIu64 ",\"http_other\":%" PRIu64
+        ",\"transport_errors\":%" PRIu64
+        ",\"achieved_qps\":%.6g,\"latency_p50_ms\":%.6g"
+        ",\"latency_p90_ms\":%.6g,\"latency_p99_ms\":%.6g"
+        ",\"latency_max_ms\":%.6g,\"status_checked\":%" PRIu64
+        ",\"status_bad\":%" PRIu64 ",\"status_evicted_410\":%" PRIu64
+        ",\"submitted\":%" PRIu64 ",\"queued\":%" PRIu64
+        ",\"matched\":%" PRIu64 ",\"dispatched\":%" PRIu64
+        ",\"expired\":%" PRIu64 ",\"rejected\":%" PRIu64
+        ",\"conserved\":%s}\n",
+        total.requests, total.accepted, total.rejected_429,
+        total.throttled_429, total.http_other, total.transport_errors,
+        elapsed > 0.0 ? static_cast<double>(total.requests) / elapsed : 0.0,
+        quantile(total.latencies_ms, 0.50),
+        quantile(total.latencies_ms, 0.90),
+        quantile(total.latencies_ms, 0.99),
+        total.latencies_ms.empty() ? 0.0 : total.latencies_ms.back(),
+        status_checked, status_bad, status_evicted, submitted, queued,
+        matched, dispatched, expired, rejected,
+        conserved ? "true" : "false");
+    std::fclose(report);
+    std::printf("loadgen: report written to %s\n",
+                opt.report_json_path.c_str());
+  }
+
   if (!conserved || status_bad != 0) {
     return 1;
   }

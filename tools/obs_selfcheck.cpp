@@ -60,6 +60,23 @@
 //                             strictly increasing, and kinds are drawn
 //                             from the recorder's closed vocabulary.
 //
+//   --profile <file>      folded flamegraph output from the sampling
+//                         profiler (/debug/profile or --profile). Checks
+//                         every line is "frame[;frame...] count" with a
+//                         positive integer count and non-empty frames,
+//                         that the exact-accounting [stage_totals] anchors
+//                         cover all five engine stages (embed, predict,
+//                         match, attribute, dispatch), and that at least
+//                         one sampled stack carries a stage: tag.
+//
+//   --bench-diff <baseline> <fresh>
+//                         two bench-summary JSONL records (--bench-json
+//                         output). Prints WARN when a mode's rounds/s
+//                         dropped, or a stage p99 rose, by more than 15%
+//                         against the baseline. Warnings do not fail the
+//                         check (CI surfaces them without gating); only
+//                         malformed input does.
+//
 // Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage/IO.
 #include <cctype>
 #include <cmath>
@@ -836,6 +853,192 @@ int check_flight_jsonl(const std::string& path) {
   return failures == 0 ? 0 : 1;
 }
 
+int check_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open profile file %s\n", path.c_str());
+    return 2;
+  }
+  const char* kStages[] = {"embed", "predict", "match", "attribute",
+                           "dispatch"};
+  bool stage_anchor_seen[5] = {false, false, false, false, false};
+  std::size_t sampled_stacks = 0;
+  std::size_t stage_tagged_stacks = 0;
+  std::uint64_t total_count = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      fail("empty line in folded profile", line_no, line);
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      fail("folded line is not 'stack count'", line_no, line);
+      continue;
+    }
+    const std::string count_text = line.substr(space + 1);
+    std::uint64_t count = 0;
+    bool numeric = true;
+    for (const char c : count_text) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!numeric || count == 0) {
+      fail("folded count is not a positive integer", line_no, line);
+      continue;
+    }
+    total_count += count;
+    // Frames: ';'-separated, none empty (an empty frame means a stray
+    // separator slipped through sanitization).
+    const std::string stack = line.substr(0, space);
+    std::size_t begin = 0;
+    bool frames_ok = true;
+    while (begin <= stack.size()) {
+      const std::size_t semi = stack.find(';', begin);
+      const std::size_t end = semi == std::string::npos ? stack.size() : semi;
+      if (end == begin) {
+        frames_ok = false;
+        break;
+      }
+      if (semi == std::string::npos) {
+        break;
+      }
+      begin = semi + 1;
+    }
+    if (!frames_ok) {
+      fail("folded stack has an empty frame", line_no, line);
+      continue;
+    }
+    if (stack.rfind("[stage_totals];", 0) == 0) {
+      const std::string stage = stack.substr(std::strlen("[stage_totals];"));
+      for (std::size_t s = 0; s < 5; ++s) {
+        if (stage == kStages[s]) {
+          stage_anchor_seen[s] = true;
+        }
+      }
+    } else {
+      ++sampled_stacks;
+      if (stack.find(";stage:") != std::string::npos) {
+        ++stage_tagged_stacks;
+      }
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "FAIL: profile file %s is empty\n", path.c_str());
+    ++failures;
+  }
+  for (std::size_t s = 0; s < 5; ++s) {
+    if (!stage_anchor_seen[s]) {
+      std::fprintf(stderr,
+                   "FAIL: profile missing [stage_totals];%s anchor\n",
+                   kStages[s]);
+      ++failures;
+    }
+  }
+  if (sampled_stacks == 0) {
+    std::fprintf(stderr,
+                 "FAIL: profile has no sampled stacks (anchors only)\n");
+    ++failures;
+  } else if (stage_tagged_stacks == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no sampled stack carries a stage: tag\n");
+    ++failures;
+  }
+  std::printf("profile %s: %zu lines, %zu sampled stacks (%zu stage-"
+              "tagged), total count %llu\n",
+              path.c_str(), line_no, sampled_stacks, stage_tagged_stacks,
+              static_cast<unsigned long long>(total_count));
+  return failures == 0 ? 0 : 1;
+}
+
+/// Reads the first bench_summary record of a --bench-json file.
+std::optional<std::string> read_bench_summary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto record = json_string_field(line, "record");
+    if (record.has_value() && *record == "bench_summary") {
+      return line;
+    }
+  }
+  return std::nullopt;
+}
+
+int check_bench_diff(const std::string& baseline_path,
+                     const std::string& fresh_path) {
+  const auto baseline = read_bench_summary(baseline_path);
+  const auto fresh = read_bench_summary(fresh_path);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "no bench_summary record in %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!fresh.has_value()) {
+    std::fprintf(stderr, "no bench_summary record in %s\n",
+                 fresh_path.c_str());
+    return 2;
+  }
+  constexpr double kWarnPct = 15.0;
+  std::size_t compared = 0;
+  std::size_t warned = 0;
+  // Throughput per mode: warn when the fresh run lost more than 15%.
+  for (const char* mode : {"frozen", "online"}) {
+    const std::string key = std::string(mode) + "_rounds_per_second";
+    const auto base = json_field(*baseline, key.c_str());
+    const auto now = json_field(*fresh, key.c_str());
+    if (!base.has_value() || !now.has_value()) {
+      fail("bench summary missing " + key, 1,
+           base.has_value() ? *fresh : *baseline);
+      continue;
+    }
+    ++compared;
+    if (*base > 0.0 && *now < *base * (1.0 - kWarnPct / 100.0)) {
+      ++warned;
+      std::printf("WARN: %s dropped %.1f%% (%.2f -> %.2f rounds/s, "
+                  "threshold %.0f%%)\n",
+                  key.c_str(), 100.0 * (1.0 - *now / *base), *base, *now,
+                  kWarnPct);
+    }
+  }
+  // Stage p99 latencies: warn when a stage got more than 15% slower.
+  // Keys come from the baseline so a stage vanishing reads as malformed,
+  // not silently skipped.
+  for (const char* stage :
+       {"embed", "predict", "match", "attribute", "dispatch"}) {
+    const std::string key = std::string("stage_") + stage + "_p99_ms";
+    const auto base = json_field(*baseline, key.c_str());
+    if (!base.has_value()) {
+      continue;  // baseline predates this stage's histogram; nothing to diff
+    }
+    const auto now = json_field(*fresh, key.c_str());
+    if (!now.has_value()) {
+      fail("fresh bench summary missing " + key, 1, *fresh);
+      continue;
+    }
+    ++compared;
+    if (*base > 0.0 && *now > *base * (1.0 + kWarnPct / 100.0)) {
+      ++warned;
+      std::printf("WARN: %s rose %.1f%% (%.3f -> %.3f ms, threshold "
+                  "%.0f%%)\n",
+                  key.c_str(), 100.0 * (*now / *base - 1.0), *base, *now,
+                  kWarnPct);
+    }
+  }
+  std::printf("bench diff %s vs %s: %zu series compared, %zu regression "
+              "warnings\n",
+              baseline_path.c_str(), fresh_path.c_str(), compared, warned);
+  return failures == 0 ? 0 : 1;
+}
+
 int check_flight(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
@@ -857,6 +1060,9 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string tasktraces_path;
   std::string flight_path;
+  std::string profile_path;
+  std::string bench_baseline_path;
+  std::string bench_fresh_path;
   bool require_attribution = false;
   bool require_gateway = false;
   bool require_slo = false;
@@ -869,6 +1075,11 @@ int main(int argc, char** argv) {
       tasktraces_path = argv[++k];
     } else if (std::strcmp(argv[k], "--flight") == 0 && k + 1 < argc) {
       flight_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--profile") == 0 && k + 1 < argc) {
+      profile_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--bench-diff") == 0 && k + 2 < argc) {
+      bench_baseline_path = argv[++k];
+      bench_fresh_path = argv[++k];
     } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
       require_attribution = true;
     } else if (std::strcmp(argv[k], "--require-gateway") == 0) {
@@ -879,6 +1090,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--exposition <file>] [--journal <file>] "
                    "[--tasktraces <file>] [--flight <file>] "
+                   "[--profile <file>] [--bench-diff <baseline> <fresh>] "
                    "[--require-attribution] [--require-gateway] "
                    "[--require-slo]\n",
                    argv[0]);
@@ -886,7 +1098,8 @@ int main(int argc, char** argv) {
     }
   }
   if (exposition_path.empty() && journal_path.empty() &&
-      tasktraces_path.empty() && flight_path.empty()) {
+      tasktraces_path.empty() && flight_path.empty() &&
+      profile_path.empty() && bench_baseline_path.empty()) {
     std::fprintf(stderr, "nothing to check (see --help usage)\n");
     return 2;
   }
@@ -903,6 +1116,13 @@ int main(int argc, char** argv) {
   }
   if (!flight_path.empty()) {
     rc = std::max(rc, check_flight(flight_path));
+  }
+  if (!profile_path.empty()) {
+    rc = std::max(rc, check_profile(profile_path));
+  }
+  if (!bench_baseline_path.empty()) {
+    rc = std::max(rc, check_bench_diff(bench_baseline_path,
+                                       bench_fresh_path));
   }
   if (rc == 0) {
     std::printf("obs_selfcheck: all checks passed\n");
