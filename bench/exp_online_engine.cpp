@@ -45,8 +45,11 @@
 //       ./build/bench/exp_online_engine --bench-json <path>
 //           writes a one-record machine-readable summary (rounds/s per
 //           mode, stage latency p50/p99, mean regret-attribution terms,
-//           telemetry + flight + profiler overhead percentages) for CI
-//           archiving.
+//           telemetry + flight + profiler + storage overhead percentages)
+//           for CI archiving. The storage arm reruns the engine with the
+//           full durability stack (WAL + checkpoints + chunked journal)
+//           writing into a scratch dir and prices it against the same 5%
+//           budget as the telemetry stack.
 //       ./build/bench/exp_online_engine --profile <path>
 //           samples the online-mode run at 97 Hz with the in-process CPU
 //           profiler and writes the folded flamegraph (stack lines +
@@ -54,9 +57,12 @@
 //           so the round journal stays byte-identical with it on — the CI
 //           determinism guard compares a --profile journal against the
 //           plain baseline.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -73,6 +79,7 @@
 #include "obs/trace_store.hpp"
 #include "nn/serialize.hpp"
 #include "sim/dataset.hpp"
+#include "storage/storage.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
@@ -165,7 +172,8 @@ double timed_run(const Scenario& scenario,
                  core::PlatformPredictor& pretrained,
                  const engine::EngineConfig& base_cfg, ThreadPool& pool,
                  obs::MetricsRegistry* registry, obs::TraceRing* trace,
-                 obs::FlightRecorder* flight = nullptr) {
+                 obs::FlightRecorder* flight = nullptr,
+                 storage::StorageManager* storage = nullptr) {
   Rng clone_init(0x5eedULL);
   core::PredictorConfig pred_cfg;
   core::PlatformPredictor predictor(pretrained.num_clusters(), pred_cfg,
@@ -197,6 +205,10 @@ double timed_run(const Scenario& scenario,
   if (flight != nullptr) {
     obs::set_default_flight(flight);
   }
+  // The storage arm prices the full durability write path: WAL appends
+  // with group-commit fsyncs, periodic checkpoint publication, and the
+  // chunked journal mirror of every round record.
+  cfg.storage = storage;
   obs::set_default_registry(registry);
   engine::OnlineEngine eng(cfg, scenario.platform, scenario.embedder,
                            predictor, &pool);
@@ -551,6 +563,9 @@ int main(int argc, char** argv) {
   double flight_on_best = 0.0;
   double profiler_idle_overhead_pct = 0.0;
   double profiler_active_overhead_pct = 0.0;
+  double storage_overhead_pct = 0.0;
+  double storage_off_best = 0.0;
+  double storage_on_best = 0.0;
   obs::RegistrySnapshot stage_snapshot;
   {
     const engine::EngineConfig overhead_cfg =
@@ -666,6 +681,41 @@ int main(int argc, char** argv) {
                   profiler_active_overhead_pct > 3.0 ? " — OVER BUDGET"
                                                      : "");
     }
+
+    // Durability overhead: the same instrumented engine with the storage
+    // stack off vs fully on — WAL appends (group commit every 32),
+    // periodic + final checkpoint publication, and the chunked journal
+    // mirror of every round. The budget is 5% (ISSUE acceptance
+    // criterion). Each rep writes a fresh scratch dir so no arm pays
+    // recovery or disk-state carryover.
+    {
+      const std::filesystem::path scratch =
+          std::filesystem::temp_directory_path() /
+          ("mfcp_bench_storage_" + std::to_string(::getpid()));
+      std::error_code ec;
+      std::filesystem::remove_all(scratch, ec);
+      for (int r = 0; r < reps; ++r) {
+        registry.reset();
+        const double off = timed_run(scenario, pretrained, overhead_cfg,
+                                     pool, &registry, &trace);
+        registry.reset();
+        storage::StorageConfig storage_cfg;
+        storage_cfg.dir = (scratch / ("rep" + std::to_string(r))).string();
+        storage::StorageManager storage(storage_cfg);
+        const double on = timed_run(scenario, pretrained, overhead_cfg,
+                                    pool, &registry, &trace, nullptr,
+                                    &storage);
+        storage_off_best = r == 0 ? off : std::min(storage_off_best, off);
+        storage_on_best = r == 0 ? on : std::min(storage_on_best, on);
+      }
+      std::filesystem::remove_all(scratch, ec);
+      storage_overhead_pct =
+          100.0 * (storage_on_best - storage_off_best) / storage_off_best;
+      std::printf("storage overhead: off %.3fs vs durable %.3fs (%+.1f%%, "
+                  "budget 5%%)%s\n",
+                  storage_off_best, storage_on_best, storage_overhead_pct,
+                  storage_overhead_pct > 5.0 ? " — OVER BUDGET" : "");
+    }
   }
 
   // Machine-readable one-record summary for CI archiving: throughput per
@@ -721,7 +771,10 @@ int main(int argc, char** argv) {
         .field("flight_on_seconds", flight_on_best)
         .field("flight_overhead_pct", flight_overhead_pct)
         .field("profiler_idle_overhead_pct", profiler_idle_overhead_pct)
-        .field("profiler_active_overhead_pct", profiler_active_overhead_pct);
+        .field("profiler_active_overhead_pct", profiler_active_overhead_pct)
+        .field("storage_off_seconds", storage_off_best)
+        .field("storage_on_seconds", storage_on_best)
+        .field("storage_overhead_pct", storage_overhead_pct);
     summary.end_record();
     summary.flush();
     std::printf("bench summary written to %s\n", bench_json_path.c_str());

@@ -1,0 +1,122 @@
+// Microbenchmarks for the durability layer's hot paths: WAL appends
+// across the group-commit fsync cadences (0 = never, 1 = every record,
+// 64/256 = grouped), payload encode/CRC in isolation, directory scans at
+// recovery time, and chunked-journal appends. The append benchmarks bound
+// the latency the WAL adds in front of every /submit 200 — one write()
+// plus, on the cadence, one fsync.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "storage/chunk_store.hpp"
+#include "storage/wal.hpp"
+
+namespace {
+
+using namespace mfcp;
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per benchmark run, wiped on destruction.
+struct BenchDir {
+  fs::path path;
+
+  explicit BenchDir(const std::string& name)
+      : path(fs::temp_directory_path() /
+             ("mfcp_micro_wal_" + std::to_string(::getpid()) + "_" +
+              name)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+storage::WalRecord accepted_record(std::uint64_t id) {
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kAccepted;
+  rec.task_id = id;
+  rec.hours = 0.25 * static_cast<double>(id);
+  rec.deadline_hours = rec.hours + 2.0;
+  rec.task.family = sim::TaskFamily::kTransformer;
+  rec.task.depth = 12;
+  rec.task.width = 256;
+  rec.task.batch_size = 64;
+  rec.task.dataset_fraction = 0.5;
+  return rec;
+}
+
+void BM_WalEncodePayload(benchmark::State& state) {
+  const storage::WalRecord rec = accepted_record(42);
+  unsigned char buf[storage::kWalPayloadBytes];
+  for (auto _ : state) {
+    storage::encode_wal_payload(rec, buf);
+    benchmark::DoNotOptimize(
+        storage::crc32(buf, storage::kWalPayloadBytes));
+  }
+}
+BENCHMARK(BM_WalEncodePayload);
+
+/// Append throughput at a given fsync cadence (the benchmark arg):
+/// 0 = never fsync, 1 = fsync every record, N = group commit every N.
+void BM_WalAppend(benchmark::State& state) {
+  BenchDir dir("append_" + std::to_string(state.range(0)));
+  storage::WalConfig cfg{dir.path.string()};
+  cfg.fsync_every = static_cast<std::size_t>(state.range(0));
+  storage::TaskWal wal(cfg);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.append(accepted_record(id++)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(id));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      id * (storage::kWalHeaderBytes + storage::kWalPayloadBytes)));
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(64)->Arg(256);
+
+/// Recovery-time cost: scanning a directory of `arg` valid records.
+void BM_WalScan(benchmark::State& state) {
+  BenchDir dir("scan_" + std::to_string(state.range(0)));
+  {
+    storage::WalConfig cfg{dir.path.string()};
+    cfg.fsync_every = 0;
+    storage::TaskWal wal(cfg);
+    for (std::int64_t id = 0; id < state.range(0); ++id) {
+      wal.append(accepted_record(static_cast<std::uint64_t>(id)));
+    }
+    wal.sync();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        storage::scan_wal(dir.path.string(), false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WalScan)->Arg(1000)->Arg(10000);
+
+void BM_ChunkAppend(benchmark::State& state) {
+  BenchDir dir("chunk_append");
+  storage::ChunkStoreConfig cfg{dir.path.string()};
+  cfg.max_chunks = 8;
+  storage::ChunkStore store(cfg);
+  const std::string line =
+      R"({"record":"round","round":1,"close_hours":0.0,"batch":6,)"
+      R"("regret":0.125,"reliability":0.94})";
+  double hours = 0.0;
+  for (auto _ : state) {
+    store.append(hours, line);
+    hours += 0.01;  // ~100 records per chunk window
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(line.size() + 1));
+}
+BENCHMARK(BM_ChunkAppend);
+
+}  // namespace

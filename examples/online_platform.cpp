@@ -27,6 +27,13 @@
 //                       mode until SIGINT/SIGTERM or --serve-seconds;
 //                       tools/loadgen is the matching client
 //
+// Durability: `--data-dir DIR` arms the storage layer — every accepted
+// task is WAL-logged before its 200 is sent, predictor+counters are
+// checkpointed periodically, and the round journal is mirrored into a
+// time-chunked store (GET /journal). On startup the engine recovers:
+// latest valid snapshot plus WAL replay of acked-but-unterminal tasks,
+// so a kill -9 mid-burst loses nothing that was acknowledged.
+//
 // Both modes shut down gracefully on SIGINT/SIGTERM: arrivals stop, the
 // queue drains through flush rounds, the journal and span trace are
 // flushed to disk, and the final metrics exposition is printed.
@@ -101,6 +108,8 @@ int main(int argc, char** argv) {
   std::string slo_config_path;
   std::string alert_log_path;
   std::string alert_webhook_url;
+  std::string data_dir;   // empty = durability off
+  int retrain_every = 0;  // 0 = drift-triggered retraining only
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--serve-port") == 0 && k + 1 < argc) {
       serve_port = std::atoi(argv[++k]);
@@ -131,6 +140,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[k], "--stall-budget-seconds") == 0 &&
                k + 1 < argc) {
       stall_budget_seconds = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--data-dir") == 0 && k + 1 < argc) {
+      data_dir = argv[++k];
+    } else if (std::strcmp(argv[k], "--retrain-every") == 0 &&
+               k + 1 < argc) {
+      retrain_every = std::atoi(argv[++k]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve-port N] [--linger-seconds S]\n"
@@ -141,7 +155,8 @@ int main(int argc, char** argv) {
                    "[--alert-log FILE]\n"
                    "          [--alert-webhook http://host:port/path]\n"
                    "          [--flight] [--stall-budget-seconds S] "
-                   "[--profile]\n",
+                   "[--profile]\n"
+                   "          [--data-dir DIR] [--retrain-every N]\n",
                    argv[0]);
       return 2;
     }
@@ -187,6 +202,9 @@ int main(int argc, char** argv) {
   // Post-drift evidence dominates each retrain burst while the pre-drift
   // tail still regularizes it (see OnlineTrainerConfig).
   cfg.trainer.replay_recency_half_life = 128.0;
+  if (retrain_every > 0) {
+    cfg.trainer.retrain_every = static_cast<std::size_t>(retrain_every);
+  }
   cfg.stop_flag = &g_stop;
 
   engine::DriftEventSpec drift;
@@ -311,9 +329,42 @@ int main(int argc, char** argv) {
                 rk_cfg.initial_rate_per_hour, rk_cfg.wait_target_hours);
   }
 
+  // Durability layer: WAL + checkpoints + chunked journal under one
+  // directory. Declared before the engine so the borrowed pointer
+  // outlives it; recovery runs right after the engine (and, in gateway
+  // mode, the link) exist.
+  std::optional<storage::StorageManager> storage;
+  if (!data_dir.empty()) {
+    storage::StorageConfig st_cfg;
+    st_cfg.dir = data_dir;
+    storage.emplace(st_cfg);
+    storage->bind_metrics(&registry);
+    cfg.storage = &*storage;
+    std::printf("storage armed: %s (wal fsync every %zu, checkpoint every "
+                "%zu rounds, %.1fh chunks)\n",
+                data_dir.c_str(), st_cfg.wal_fsync_every,
+                st_cfg.checkpoint_every_rounds, st_cfg.chunk_hours);
+  }
+  if (retrain_every > 0) {
+    std::printf("periodic retraining: every %d rounds (plus drift "
+                "trips)\n", retrain_every);
+  }
+
   ThreadPool pool;
   engine::OnlineEngine eng(cfg, platform, embedder, predictor, &pool);
   engine::EngineResult result;
+
+  const auto print_recovery = [](const engine::RecoveryReport& rep) {
+    std::printf("storage: recovered %llu task(s) (%llu dropped), %llu "
+                "already terminal, %s, resume t=%.2fh%s\n",
+                static_cast<unsigned long long>(rep.replayed),
+                static_cast<unsigned long long>(rep.dropped),
+                static_cast<unsigned long long>(rep.terminal),
+                rep.checkpoint_loaded ? "snapshot restored" : "cold start",
+                rep.resume_hours,
+                rep.truncated_bytes > 0 ? " (torn WAL tail truncated)"
+                                        : "");
+  };
 
   if (gateway_mode) {
     // Platform gateway: external submissions over HTTP drive the engine
@@ -322,13 +373,19 @@ int main(int argc, char** argv) {
     link_cfg.traces = &task_traces;
     link_cfg.trace_sample_rate = trace_sample;
     link_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
+    // Durability point: the link WAL-logs each acceptance before its 200.
+    link_cfg.wal = storage.has_value() ? &storage->wal() : nullptr;
     engine::GatewayLink link(link_cfg);
+    if (storage.has_value()) {
+      print_recovery(eng.recover(&link));
+    }
     net::GatewayConfig gateway_cfg;
     gateway_cfg.http.port = static_cast<std::uint16_t>(gateway_port);
     gateway_cfg.slo = &slo;
     gateway_cfg.traces = &task_traces;
     gateway_cfg.ratekeeper = ratekeeper.has_value() ? &*ratekeeper : nullptr;
     gateway_cfg.buckets = buckets.has_value() ? &*buckets : nullptr;
+    gateway_cfg.storage = storage.has_value() ? &*storage : nullptr;
     // /debug routes + per-worker heartbeats when the recorder is armed
     // (observer declared before the gateway, so it outlives the server).
     // The observer also runs recorder-free when only the profiler is on:
@@ -423,6 +480,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(exporter.port()));
     std::fflush(stdout);
 
+    if (storage.has_value()) {
+      print_recovery(eng.recover());
+    }
     result = eng.run();
 
     std::printf("\nround  t(h)   trig     n  wait(h)  regret  roll    "
@@ -522,6 +582,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(profiler->sessions_total()),
                 static_cast<unsigned long long>(profiler->samples_total()),
                 profiler->threads_registered());
+  }
+  if (storage.has_value()) {
+    const storage::StorageStatus st = storage->status();
+    std::printf("\nstorage: %llu WAL records (%llu bytes, %llu fsyncs, "
+                "%llu segments), %llu checkpoints (generation %llu), "
+                "%llu journal chunks (%llu records, %llu evicted)\n",
+                static_cast<unsigned long long>(st.wal_records),
+                static_cast<unsigned long long>(st.wal_bytes),
+                static_cast<unsigned long long>(st.wal_fsyncs),
+                static_cast<unsigned long long>(st.wal_segments),
+                static_cast<unsigned long long>(st.checkpoints),
+                static_cast<unsigned long long>(st.checkpoint_generation),
+                static_cast<unsigned long long>(st.chunks),
+                static_cast<unsigned long long>(st.chunk_records),
+                static_cast<unsigned long long>(st.chunks_evicted));
   }
   if (ratekeeper.has_value()) {
     const control::RatekeeperStatus rk = ratekeeper->status();

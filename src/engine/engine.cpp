@@ -6,6 +6,8 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <sstream>
+#include <unordered_set>
 
 #include "obs/profiler.hpp"
 #include "support/check.hpp"
@@ -73,6 +75,9 @@ OnlineEngine::OnlineEngine(EngineConfig config, sim::Platform platform,
           link_->table().mark_lost(a.id, expired ? TaskState::kExpired
                                                  : TaskState::kRejected);
         }
+        wal_terminal(a.id, expired ? storage::WalRecordType::kExpired
+                                   : storage::WalRecordType::kRejected);
+        journal_task(a.id, expired ? "expired" : "rejected");
         flight(obs::FlightKind::kQueueTransition, a.id,
                expired ? kQueueExpired : kQueueRejected, queue_.depth());
       });
@@ -196,6 +201,82 @@ void OnlineEngine::tick_ratekeeper(RoundRecord& rec) {
     telemetry_.rk_throttled->add(rec.throttled_total - rk_throttled_seen_);
     rk_throttled_seen_ = rec.throttled_total;
   }
+}
+
+void OnlineEngine::wal_accepted(const Arrival& arrival) {
+  if (config_.storage == nullptr || arrival.id >= kExternalIdBase) {
+    return;  // external acceptances were logged at the gateway door
+  }
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kAccepted;
+  rec.task_id = arrival.id;
+  rec.hours = arrival.time_hours;
+  rec.deadline_hours = arrival.deadline_hours;
+  rec.task = arrival.task;
+  config_.storage->wal().append(rec);
+}
+
+void OnlineEngine::wal_terminal(std::uint64_t id,
+                                storage::WalRecordType type) {
+  if (config_.storage == nullptr) {
+    return;
+  }
+  storage::WalRecord rec;
+  rec.type = type;
+  rec.task_id = id;
+  rec.hours = clock_hours_;
+  config_.storage->wal().append(rec);
+}
+
+void OnlineEngine::journal_task(std::uint64_t id, const char* state) {
+  if (config_.storage == nullptr || id < kExternalIdBase) {
+    return;  // task traces are journaled for external submissions only
+  }
+  std::ostringstream os;
+  {
+    obs::JsonlWriter trace(os);
+    trace.field("record", std::string_view("task"))
+        .field("task", id)
+        .field("state", std::string_view(state))
+        .field("close_hours", clock_hours_);
+    trace.end_record();
+  }
+  std::string line = os.str();
+  while (!line.empty() && line.back() == '\n') {
+    line.pop_back();
+  }
+  config_.storage->journal().append(clock_hours_, line);
+}
+
+void OnlineEngine::publish_checkpoint() {
+  if (config_.storage == nullptr) {
+    return;
+  }
+  refresh_counters();
+  config_.storage->checkpoints().publish(
+      config_.storage->wal().stats().last_seq, [this](std::ostream& os) {
+        save_checkpoint(os, predictor_, counters_);
+      });
+}
+
+void OnlineEngine::maybe_publish_checkpoint() {
+  const std::size_t every =
+      config_.storage->config().checkpoint_every_rounds;
+  if (every == 0 || counters_.rounds == 0 || counters_.rounds % every != 0) {
+    return;
+  }
+  publish_checkpoint();
+}
+
+void OnlineEngine::refresh_counters() {
+  // The queue restarted at zero after recover(); add its stats onto the
+  // restored base so these totals stay monotone across incarnations.
+  counters_.dropped_capacity =
+      restored_base_.dropped_capacity + queue_.stats().dropped_capacity;
+  counters_.expired = restored_base_.expired + queue_.stats().expired;
+  counters_.dispatched =
+      restored_base_.dispatched + queue_.stats().dispatched;
+  counters_.sim_time_hours = clock_hours_;
 }
 
 void OnlineEngine::bind_metrics() {
@@ -331,6 +412,21 @@ bool OnlineEngine::finish_round(RoundTrigger trigger, RunLog& log) {
   if (config_.journal != nullptr) {
     append_round_journal(*config_.journal, rec);
   }
+  if (config_.storage != nullptr) {
+    // The chunked on-disk journal gets a byte-identical copy of the same
+    // record (same writer, same field order), routed by its close time.
+    std::ostringstream os;
+    {
+      obs::JsonlWriter chunk_journal(os);
+      append_round_journal(chunk_journal, rec);
+    }
+    std::string line = os.str();
+    while (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+    }
+    config_.storage->journal().append(rec.close_hours, line);
+    maybe_publish_checkpoint();
+  }
   if (link_ != nullptr) {
     link_->note_round(rec.round, rec.close_hours, rec.regret, rec.batch);
     link_->note_queue_depth(queue_.depth());
@@ -346,15 +442,20 @@ void OnlineEngine::finalize(RunLog& log, double wall_seconds) {
         WindowSummary{log.result.rounds.back().round, log.window});
     log.result.total.merge(log.window);
   }
-  counters_.dropped_capacity = queue_.stats().dropped_capacity;
-  counters_.expired = queue_.stats().expired;
-  counters_.dispatched = queue_.stats().dispatched;
-  counters_.sim_time_hours = clock_hours_;
+  refresh_counters();
   log.result.counters = counters_;
   log.result.queue = queue_.stats();
   log.result.wall_seconds = wall_seconds;
   if (config_.admission_buckets != nullptr) {
     log.result.throttled = config_.admission_buckets->throttled_total();
+  }
+  if (config_.storage != nullptr) {
+    // Shutdown durability: a final snapshot generation plus a flushed
+    // journal chunk and a synced WAL tail, so a clean stop restarts
+    // without replaying anything.
+    publish_checkpoint();
+    config_.storage->journal().flush();
+    config_.storage->wal().sync();
   }
 }
 
@@ -375,6 +476,11 @@ EngineResult OnlineEngine::run() {
   if (profiler != nullptr) {
     profiler->register_current_thread("engine");
   }
+  // A recovered clock resumes ahead of the seeded stream's origin; shift
+  // the stream so "t hours into the stream" means t hours after the
+  // resume point. A fresh process has a zero base, so undisturbed runs
+  // keep their byte-identical journals.
+  const double stream_base = clock_hours_;
 
   for (;;) {
     pulse.beat();
@@ -385,7 +491,10 @@ EngineResult OnlineEngine::run() {
       }
       break;
     }
-    const std::optional<double> next_arrival = arrivals_.peek_time();
+    std::optional<double> next_arrival = arrivals_.peek_time();
+    if (next_arrival.has_value()) {
+      *next_arrival += stream_base;
+    }
     std::optional<double> next_timeout;
     if (!queue_.empty()) {
       next_timeout = batcher_.timeout_at(queue_.oldest_arrival_time());
@@ -395,6 +504,8 @@ EngineResult OnlineEngine::run() {
         (!next_timeout.has_value() || *next_arrival <= *next_timeout)) {
       advance_clock(*next_arrival);
       auto arrival = arrivals_.next();
+      arrival->time_hours += stream_base;
+      arrival->deadline_hours += stream_base;
       ++counters_.arrivals;
       queue_.expire(clock_hours_);
       if (admission_throttled(*arrival)) {
@@ -403,6 +514,9 @@ EngineResult OnlineEngine::run() {
         flight(obs::FlightKind::kAdmission, arrival->id, 0, kShedThrottled);
       } else {
         maybe_begin_trace(*arrival);
+        // WAL acceptance precedes the push: a capacity refusal then lands
+        // as a rejected record after it, never an orphan terminal.
+        wal_accepted(*arrival);
         const std::uint64_t id = arrival->id;
         const bool pushed = queue_.push(std::move(*arrival));
         if (pushed) {
@@ -483,6 +597,7 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
       return;
     }
     maybe_begin_trace(arrival);
+    wal_accepted(arrival);  // synthetic only; see run()
     const std::uint64_t id = arrival.id;
     const bool pushed = queue_.push(std::move(arrival));
     if (pushed) {
@@ -510,18 +625,22 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
     }
 
     // Synthetic arrivals that are due on the simulated clock (a stopping
-    // platform stops its own stream first).
+    // platform stops its own stream first). Stream times are relative to
+    // the serve start (= the recovered clock), like run()'s stream_base.
     while (stream_active && !stopping) {
       const std::optional<double> t = arrivals_.peek_time();
       if (!t.has_value()) {
         stream_active = false;
         break;
       }
-      if (*t > sim_now()) {
+      if (*t + base_hours > sim_now()) {
         break;
       }
-      advance_clock(*t);
-      admit(std::move(*arrivals_.next()));
+      advance_clock(*t + base_hours);
+      Arrival arrival = *arrivals_.next();
+      arrival.time_hours += base_hours;
+      arrival.deadline_hours += base_hours;
+      admit(std::move(arrival));
     }
 
     // External submissions, stamped at the current simulated time. Even
@@ -563,7 +682,7 @@ EngineResult OnlineEngine::serve(GatewayLink& link,
     }
     if (stream_active) {
       if (const std::optional<double> t = arrivals_.peek_time()) {
-        next_hours = std::min(next_hours, *t);
+        next_hours = std::min(next_hours, *t + base_hours);
       }
     }
     int wait_ms = serve_config.poll_ms;
@@ -802,6 +921,8 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
       link_->table().mark_dispatched(batch[j].id, observed,
                                      run.succeeded[j]);
     }
+    wal_terminal(batch[j].id, storage::WalRecordType::kDispatched);
+    journal_task(batch[j].id, "dispatched");
 
     if (any_traced && traced[j] != 0) {
       obs::TaskSpan d;
@@ -926,16 +1047,120 @@ RoundRecord OnlineEngine::run_round(RoundTrigger trigger) {
 }
 
 void OnlineEngine::checkpoint(const std::string& path) {
-  counters_.dropped_capacity = queue_.stats().dropped_capacity;
-  counters_.expired = queue_.stats().expired;
-  counters_.dispatched = queue_.stats().dispatched;
-  counters_.sim_time_hours = clock_hours_;
+  refresh_counters();
   save_checkpoint(path, predictor_, counters_);
 }
 
 void OnlineEngine::restore(const std::string& path) {
   counters_ = load_checkpoint(path, predictor_);
   clock_hours_ = counters_.sim_time_hours;
+  restored_base_ = counters_;
+  // rounds is the best available proxy for rounds observed by the
+  // trainer — observe_round runs once per closed round when online
+  // retraining is enabled — so periodic retrain schedules keep their
+  // phase across a restore instead of restarting the count at zero.
+  trainer_.restore_schedule(counters_.rounds, counters_.retrains);
+}
+
+RecoveryReport OnlineEngine::recover(GatewayLink* link) {
+  MFCP_CHECK(config_.storage != nullptr,
+             "recover() needs EngineConfig::storage");
+  MFCP_CHECK(!ran_, "recover() must run before run()/serve()");
+  storage::StorageManager& storage = *config_.storage;
+
+  RecoveryReport report;
+  report.truncated_bytes = storage.recovery_scan().truncated_bytes;
+
+  // 1. Newest recoverable snapshot generation: predictor weights,
+  //    counters, clock, and retrain schedule. A corrupt newest snapshot
+  //    falls back through older generations inside load_latest; nothing
+  //    loadable means a cold start with an intact WAL replay.
+  const auto loaded =
+      storage.checkpoints().load_latest([this](std::istream& is) {
+        counters_ = load_checkpoint(is, predictor_);
+        return true;
+      });
+  if (loaded.has_value()) {
+    report.checkpoint_loaded = true;
+    report.checkpoint_generation = loaded->generation;
+    clock_hours_ = counters_.sim_time_hours;
+    restored_base_ = counters_;
+    trainer_.restore_schedule(counters_.rounds, counters_.retrains);
+  }
+
+  // 2. WAL suffix replay. Outstanding = acked but unterminal; external
+  //    ids are re-queued (their submitters hold tickets), synthetic ids
+  //    are skipped — the seeded arrival stream regenerates them exactly,
+  //    so replaying would double-admit.
+  const std::vector<storage::WalRecord> outstanding = storage.outstanding();
+  std::uint64_t accepted_distinct = 0;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    for (const storage::WalRecord& rec : storage.recovery_scan().records) {
+      if (rec.type == storage::WalRecordType::kAccepted &&
+          seen.insert(rec.task_id).second) {
+        ++accepted_distinct;
+      }
+    }
+  }
+  report.terminal = accepted_distinct - outstanding.size();
+
+  // Resume the clock past every replayed accept stamp (it cannot move
+  // backwards), applying any drift events scheduled up to that point —
+  // the platform copy is rebuilt per process, so scheduled environment
+  // changes replay deterministically alongside the tasks.
+  double resume = clock_hours_;
+  for (const storage::WalRecord& rec : outstanding) {
+    if (rec.task_id >= kExternalIdBase) {
+      resume = std::max(resume, rec.hours);
+    }
+  }
+  advance_clock(resume);
+
+  GatewayLink* const prev_link = link_;
+  link_ = link;  // capacity refusals during replay mark the table
+  const std::size_t drops_before = queue_.stats().dropped_capacity;
+  for (const storage::WalRecord& rec : outstanding) {
+    if (rec.task_id < kExternalIdBase) {
+      continue;
+    }
+    if (link != nullptr) {
+      link->table().restore_entry(rec.task_id, rec.hours);
+    }
+    // Re-append the acceptance to the fresh log (new sequence number,
+    // original stamp and deadline) before the push, so the compacted WAL
+    // still witnesses the task and a refusal below pairs with it.
+    storage.wal().append(rec);
+    Arrival arrival;
+    arrival.id = rec.task_id;
+    arrival.time_hours = rec.hours;
+    arrival.deadline_hours = rec.deadline_hours;
+    arrival.task = rec.task;
+    ++counters_.arrivals;
+    ++report.replayed;
+    if (queue_.push(std::move(arrival))) {
+      ++counters_.admitted;
+    }
+  }
+  report.dropped = queue_.stats().dropped_capacity - drops_before;
+  link_ = prev_link;
+
+  storage.wal().sync();
+  storage.compact_after_recovery();
+  storage.note_recovered(report.replayed, report.terminal);
+  if (link != nullptr) {
+    link->note_recovery(report.replayed, report.terminal);
+  }
+  report.resume_hours = clock_hours_;
+  MFCP_LOG(kInfo) << "storage recovery: "
+                  << (report.checkpoint_loaded ? "snapshot generation " +
+                          std::to_string(report.checkpoint_generation)
+                                               : std::string("cold start"))
+                  << ", replayed " << report.replayed
+                  << " outstanding task(s) (" << report.dropped
+                  << " dropped), " << report.terminal
+                  << " already terminal, resume t=" << clock_hours_ << "h";
+  return report;
 }
 
 }  // namespace mfcp::engine

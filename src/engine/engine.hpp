@@ -43,6 +43,7 @@
 #include "parallel/thread_pool.hpp"
 #include "sim/embedding.hpp"
 #include "sim/failure.hpp"
+#include "storage/storage.hpp"
 
 namespace mfcp::engine {
 
@@ -151,6 +152,17 @@ struct EngineConfig {
   /// make identical admission decisions.
   control::Ratekeeper* ratekeeper = nullptr;
   control::TokenBucketTable* admission_buckets = nullptr;
+
+  /// Durability layer (--data-dir): when set, every accepted task is
+  /// WAL-logged before it can be lost (external ids at the gateway door,
+  /// synthetic ids at the queue push), terminal transitions append
+  /// dispatched/expired/rejected records, the round journal is copied
+  /// into the time-chunked store, and the predictor+counters are
+  /// checkpointed every checkpoint_every_rounds rounds plus once at
+  /// shutdown. Write-only during a run: decisions, metrics, and the
+  /// byte-compared round journal are identical with storage attached.
+  /// Borrowed; null (the default) disables durability entirely.
+  storage::StorageManager* storage = nullptr;
 };
 
 /// One closed matching round, as written to the metrics CSV.
@@ -194,6 +206,17 @@ void append_round_journal(obs::JsonlWriter& journal, const RoundRecord& rec,
 struct WindowSummary {
   std::size_t last_round = 0;
   core::MetricsAccumulator metrics;
+};
+
+/// What OnlineEngine::recover() found and did (see its contract).
+struct RecoveryReport {
+  bool checkpoint_loaded = false;        // a snapshot generation restored
+  std::uint64_t checkpoint_generation = 0;
+  std::uint64_t replayed = 0;   // external acked-unterminal tasks re-queued
+  std::uint64_t dropped = 0;    // replays the bounded queue refused
+  std::uint64_t terminal = 0;   // WAL-witnessed terminal acceptances
+  std::uint64_t truncated_bytes = 0;  // torn WAL tail removed at startup
+  double resume_hours = 0.0;    // simulated clock after recovery
 };
 
 struct EngineResult {
@@ -255,6 +278,20 @@ class OnlineEngine {
   /// Restores predictor weights and counters from a checkpoint.
   void restore(const std::string& path);
 
+  /// Crash recovery from EngineConfig::storage, before run()/serve():
+  /// restores the newest valid snapshot generation (predictor weights,
+  /// counters, simulated clock, retrain schedule), then replays every
+  /// acked-but-unterminal external task from the WAL scan back into the
+  /// admission queue — stamped at its original accept time, original
+  /// absolute deadline — re-appends those acceptances to the fresh log,
+  /// and compacts the superseded segments. Synthetic outstanding records
+  /// are skipped: the seeded arrival stream regenerates them exactly.
+  /// When `link` is set, replayed tasks reappear in its status table as
+  /// queued (capacity refusals transition straight to rejected) and the
+  /// recovered counts land in /stats. Never throws on torn or empty WAL
+  /// state — an unrecoverable store degrades to a cold start.
+  RecoveryReport recover(GatewayLink* link = nullptr);
+
   [[nodiscard]] const EngineCounters& counters() const noexcept {
     return counters_;
   }
@@ -301,6 +338,22 @@ class OnlineEngine {
   /// Flushes the partial metrics window and fills result counters.
   void finalize(RunLog& log, double wall_seconds);
   void bind_metrics();
+  /// Folds the restarted queue's stats onto the recovered base so the
+  /// drop/expiry/dispatch counters stay monotone across recover().
+  void refresh_counters();
+  /// WAL acceptance record for a synthetic arrival about to be pushed
+  /// (external ids were logged at the gateway door; no-op without
+  /// storage).
+  void wal_accepted(const Arrival& arrival);
+  /// WAL terminal record (dispatched/expired/rejected) for any task id.
+  void wal_terminal(std::uint64_t id, storage::WalRecordType type);
+  /// Chunk-journal task-trace record for an external task's terminal
+  /// transition (no-op without storage or for synthetic ids).
+  void journal_task(std::uint64_t id, const char* state);
+  /// Publishes a snapshot generation through the storage checkpoints
+  /// (maybe_: only on the checkpoint_every_rounds cadence).
+  void publish_checkpoint();
+  void maybe_publish_checkpoint();
 
   /// Cached registry handles for the round loop's own stages (the queue,
   /// batcher, and trainer cache theirs in bind_metrics). Null when off.
@@ -341,6 +394,9 @@ class OnlineEngine {
   std::uint64_t rk_expired_seen_ = 0;    // ratekeeper's own expiry watermark
   std::uint64_t rk_throttled_seen_ = 0;  // exported-counter watermark
   EngineCounters counters_;
+  /// Counter totals restored by restore()/recover(): the queue restarts
+  /// at zero, so refresh_counters() adds its stats onto this base.
+  EngineCounters restored_base_;
   Telemetry telemetry_;
   obs::AttributionRecorder attribution_recorder_;
   /// Non-null only while serve() runs: receives status transitions for

@@ -182,6 +182,7 @@ void OnlineTrainer::bind_metrics(obs::MetricsRegistry* registry) {
 
 bool OnlineTrainer::observe_round(double error_stat,
                                   core::PlatformPredictor& predictor) {
+  ++rounds_observed_;
   const DriftDecision decision = detector_.evaluate(error_stat);
   if (telemetry_.drift_stat != nullptr) {
     telemetry_.drift_stat->set(error_stat);
@@ -189,7 +190,12 @@ bool OnlineTrainer::observe_round(double error_stat,
     telemetry_.baseline_mean->set(detector_.baseline_mean());
     telemetry_.decisions[static_cast<int>(decision)]->add(1);
   }
-  if (decision != DriftDecision::kTrip) {
+  // Periodic schedule: rounds_observed_ is monotone across restarts
+  // (restore_schedule), so the cadence phase survives a checkpoint
+  // round-trip — round 64 retrains whether or not the process died at 50.
+  const bool scheduled = config_.retrain_every > 0 &&
+                         rounds_observed_ % config_.retrain_every == 0;
+  if (decision != DriftDecision::kTrip && !scheduled) {
     if (decision == DriftDecision::kCooldown) {
       MFCP_LOG(kDebug) << "drift stat " << error_stat
                        << " suppressed by retrain cooldown ("
@@ -198,10 +204,17 @@ bool OnlineTrainer::observe_round(double error_stat,
     }
     return false;
   }
-  MFCP_LOG(kInfo) << "drift detected (stat " << error_stat << ", short "
-                  << detector_.short_mean() << " vs baseline "
-                  << detector_.baseline_mean() << "), retraining on "
-                  << replay_.size() << " experiences";
+  if (decision == DriftDecision::kTrip) {
+    MFCP_LOG(kInfo) << "drift detected (stat " << error_stat << ", short "
+                    << detector_.short_mean() << " vs baseline "
+                    << detector_.baseline_mean() << "), retraining on "
+                    << replay_.size() << " experiences";
+  } else {
+    MFCP_LOG(kInfo) << "scheduled retrain at observed round "
+                    << rounds_observed_ << " (every "
+                    << config_.retrain_every << "), retraining on "
+                    << replay_.size() << " experiences";
+  }
   {
     obs::ScopedSpan span(telemetry_.retrain_seconds, "retrain");
     retrain(predictor);

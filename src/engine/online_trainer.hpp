@@ -157,6 +157,12 @@ struct OnlineTrainerConfig {
   /// Clusters with fewer stored experiences than this are skipped by a
   /// burst (too little signal to move their predictors responsibly).
   std::size_t min_cluster_samples = 8;
+  /// Periodic retrain schedule: when > 0, a fine-tune burst also runs
+  /// every N observed rounds, independent of the drift detector (the
+  /// --retrain-every flag). Scheduled bursts reset the detector the same
+  /// way tripped ones do — the predictor changed either way. 0 keeps
+  /// retraining purely drift-triggered.
+  std::size_t retrain_every = 0;
   DriftConfig drift;
   std::uint64_t seed = 0x0e11e7ULL;
 };
@@ -190,6 +196,19 @@ class OnlineTrainer {
   [[nodiscard]] std::size_t retrain_count() const noexcept {
     return retrains_;
   }
+  [[nodiscard]] std::size_t rounds_observed() const noexcept {
+    return rounds_observed_;
+  }
+
+  /// Restores the schedule position after a checkpoint restore: the
+  /// periodic retrain_every cadence and the retrain counter continue
+  /// from where the previous incarnation stopped, so a restart never
+  /// resets a schedule (or double-counts retrain_total in the journal).
+  void restore_schedule(std::size_t rounds_observed,
+                        std::size_t retrains) noexcept {
+    rounds_observed_ = rounds_observed;
+    retrains_ = retrains;
+  }
 
  private:
   /// Cached registry handles (null when telemetry is off).
@@ -206,6 +225,7 @@ class OnlineTrainer {
   DriftDetector detector_;
   Rng rng_;
   std::size_t retrains_ = 0;
+  std::size_t rounds_observed_ = 0;
   Telemetry telemetry_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "control/token_bucket.hpp"
 #include "obs/trace_store.hpp"
+#include "storage/wal.hpp"
 #include "support/check.hpp"
 
 namespace mfcp::engine {
@@ -38,6 +39,21 @@ std::uint64_t TaskStatusTable::insert(double submit_hours) {
   ++counts_.submitted;
   ++counts_.queued;
   return id;
+}
+
+void TaskStatusTable::restore_entry(std::uint64_t id, double submit_hours) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MFCP_CHECK(id >= kExternalIdBase, "restored ids are external ids");
+  TaskStatus s;
+  s.id = id;
+  s.state = TaskState::kQueued;
+  s.submit_hours = submit_hours;
+  if (!tasks_.emplace(id, std::move(s)).second) {
+    return;  // duplicate replay; the resident entry wins
+  }
+  next_id_ = std::max(next_id_, id + 1);
+  ++counts_.submitted;
+  ++counts_.queued;
 }
 
 void TaskStatusTable::mark_matched(std::uint64_t id, std::size_t cluster,
@@ -215,6 +231,21 @@ SubmitTicket GatewayLink::submit(const sim::TaskDescriptor& task,
         table_.insert(sim_time_hours_.load(std::memory_order_relaxed));
     inbox_.push_back(ExternalSubmission{ticket.id, task, deadline});
   }
+  // Durability point: the acceptance is logged before the ticket (and so
+  // the HTTP 200) leaves this function. The WAL serializes appends under
+  // its own lock, so the inbox lock above stays short. Terminal records
+  // for the same id may land first (the engine can drain and finish the
+  // task concurrently) — replay matches by id, not order.
+  if (config_.wal != nullptr) {
+    const double now = sim_time_hours_.load(std::memory_order_relaxed);
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kAccepted;
+    rec.task_id = ticket.id;
+    rec.hours = now;
+    rec.deadline_hours = now + deadline;
+    rec.task = task;
+    config_.wal->append(rec);
+  }
   // Trace identity is minted outside the inbox lock: deterministic in
   // (id, salt), so the engine recomputes the same decision on its side.
   ticket.trace_id = obs::mint_trace_id(ticket.id, config_.trace_salt);
@@ -305,6 +336,9 @@ ServiceStats GatewayLink::stats() const {
       round_seconds_ewma_.load(std::memory_order_relaxed);
   s.cumulative_regret = cumulative_regret_.load(std::memory_order_relaxed);
   s.draining = stop_requested();
+  s.recovered_tasks = recovered_tasks_.load(std::memory_order_relaxed);
+  s.recovered_terminal =
+      recovered_terminal_.load(std::memory_order_relaxed);
   s.tasks = table_.counts();
   return s;
 }

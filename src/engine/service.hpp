@@ -42,6 +42,9 @@ class TraceStore;
 namespace mfcp::control {
 class TokenBucketTable;
 }
+namespace mfcp::storage {
+class TaskWal;
+}
 
 namespace mfcp::engine {
 
@@ -89,6 +92,12 @@ class TaskStatusTable {
 
   /// Registers a new task, assigning the next external id.
   std::uint64_t insert(double submit_hours);
+
+  /// Recovery path: re-registers a task under the id it was issued by a
+  /// previous incarnation (WAL replay), advancing the id allocator past
+  /// it so new submissions never collide with replayed ones. Counted as
+  /// submitted + queued, exactly like insert().
+  void restore_entry(std::uint64_t id, double submit_hours);
 
   void mark_matched(std::uint64_t id, std::size_t cluster,
                     std::string cluster_name, double predicted_hours,
@@ -178,6 +187,12 @@ struct GatewayLinkConfig {
   /// same replenish_seconds formula the pressure-shed path uses.
   /// Borrowed, optional.
   control::TokenBucketTable* buckets = nullptr;
+
+  /// Durability: when set, every accepted submission is appended to the
+  /// write-ahead task log *before* the ticket (and so the HTTP 200) is
+  /// returned — the ack outlives the process. Borrowed, optional; null
+  /// keeps submission handling byte-for-byte as before.
+  storage::TaskWal* wal = nullptr;
 };
 
 /// Aggregate service state returned by GET /stats.
@@ -194,6 +209,12 @@ struct ServiceStats {
   double round_seconds_ewma = 0.0;  // wall-clock cadence estimate
   double cumulative_regret = 0.0;
   bool draining = false;
+  /// WAL recovery bookkeeping (zero unless this incarnation recovered a
+  /// data dir): tasks replayed into the queue, and tasks whose terminal
+  /// record the WAL already witnessed before the restart. Together they
+  /// cover every acceptance the previous incarnation logged.
+  std::uint64_t recovered_tasks = 0;
+  std::uint64_t recovered_terminal = 0;
   TaskStatusTable::Counts tasks;
 };
 
@@ -261,6 +282,14 @@ class GatewayLink {
   void note_round(std::uint64_t round, double close_hours, double regret,
                   std::size_t batch);
 
+  /// Recovery bookkeeping (engine recover()): surfaces the WAL replay
+  /// outcome through /stats so clients (loadgen --resume-report) can
+  /// verify conservation across the restart.
+  void note_recovery(std::uint64_t replayed, std::uint64_t terminal) noexcept {
+    recovered_tasks_.store(replayed, std::memory_order_relaxed);
+    recovered_terminal_.store(terminal, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] TaskStatusTable& table() noexcept { return table_; }
   [[nodiscard]] const GatewayLinkConfig& config() const noexcept {
     return config_;
@@ -295,6 +324,8 @@ class GatewayLink {
   std::atomic<std::uint64_t> rejected_throttled_{0};
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> tasks_matched_{0};
+  std::atomic<std::uint64_t> recovered_tasks_{0};
+  std::atomic<std::uint64_t> recovered_terminal_{0};
   std::atomic<double> last_round_close_hours_{0.0};
   std::atomic<double> cumulative_regret_{0.0};
   std::atomic<double> round_seconds_ewma_{0.0};

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <optional>
 
 #include "net/json.hpp"
@@ -88,6 +90,11 @@ std::string_view route_label(const HttpRequest& request) {
     return "/debug/profile";
   }
   if (request.path == "/debug/build") return "/debug/build";
+  if (request.path == "/debug/storage") return "/debug/storage";
+  if (request.path == "/journal" ||
+      request.path.rfind("/journal?", 0) == 0) {
+    return "/journal";
+  }
   return "other";
 }
 
@@ -223,6 +230,88 @@ HttpResponse handle_debug_profile(const HttpRequest& request,
   obs::ProfileRouteResult result =
       obs::profile_route(profiler, request.path);
   return text_response(result.status, std::move(result.body));
+}
+
+/// Parses "/journal?from=<h>&to=<h>" (either bound optional). Returns
+/// false on a malformed pair or an unknown key.
+bool parse_journal_query(std::string_view path, double& from, double& to) {
+  const std::size_t q = path.find('?');
+  if (q == std::string_view::npos) {
+    return true;
+  }
+  std::string_view rest = path.substr(q + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return false;
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        !std::isfinite(v)) {
+      return false;
+    }
+    if (key == "from") {
+      from = v;
+    } else if (key == "to") {
+      to = v;
+    } else {
+      return false;
+    }
+  }
+  return from <= to;
+}
+
+HttpResponse handle_journal(const HttpRequest& request,
+                            const storage::StorageManager* storage) {
+  if (storage == nullptr) {
+    return text_response(404, "storage disabled\n");
+  }
+  double from = -std::numeric_limits<double>::max();
+  double to = std::numeric_limits<double>::max();
+  if (!parse_journal_query(request.path, from, to)) {
+    return error_json(400, "bad journal window (from=<h>&to=<h>)");
+  }
+  const std::vector<std::string> lines = storage->journal().query(from, to);
+  std::string body;
+  for (const std::string& line : lines) {
+    body += line;
+    body += '\n';
+  }
+  HttpResponse r = text_response(200, std::move(body));
+  r.content_type = "application/x-ndjson";
+  return r;
+}
+
+HttpResponse handle_debug_storage(const storage::StorageManager* storage) {
+  if (storage == nullptr) {
+    return text_response(404, "storage disabled\n");
+  }
+  const storage::StorageStatus st = storage->status();
+  std::string out = "{\"dir\":" + json_quote(storage->config().dir);
+  out += ",\"wal_records\":" + fmt_u64(st.wal_records);
+  out += ",\"wal_bytes\":" + fmt_u64(st.wal_bytes);
+  out += ",\"wal_fsyncs\":" + fmt_u64(st.wal_fsyncs);
+  out += ",\"wal_segments\":" + fmt_u64(st.wal_segments);
+  out += ",\"wal_last_seq\":" + fmt_u64(st.wal_last_seq);
+  out += ",\"recovered_tasks\":" + fmt_u64(st.recovered_tasks);
+  out += ",\"recovered_terminal\":" + fmt_u64(st.recovered_terminal);
+  out += ",\"truncated_bytes\":" + fmt_u64(st.truncated_bytes);
+  out += ",\"checkpoints\":" + fmt_u64(st.checkpoints);
+  out += ",\"checkpoint_generation\":" + fmt_u64(st.checkpoint_generation);
+  out += ",\"chunks\":" + fmt_u64(st.chunks);
+  out += ",\"chunk_records\":" + fmt_u64(st.chunk_records);
+  out += ",\"chunk_bytes\":" + fmt_u64(st.chunk_bytes);
+  out += ",\"chunks_evicted\":" + fmt_u64(st.chunks_evicted);
+  out += "}\n";
+  return json_response(200, std::move(out));
 }
 
 HttpResponse handle_debug_build() {
@@ -375,6 +464,8 @@ std::string service_stats_json(const engine::ServiceStats& s) {
   out += ",\"tasks_dispatched\":" + fmt_u64(s.tasks.dispatched);
   out += ",\"tasks_expired\":" + fmt_u64(s.tasks.expired);
   out += ",\"tasks_rejected\":" + fmt_u64(s.tasks.rejected);
+  out += ",\"recovered_tasks\":" + fmt_u64(s.recovered_tasks);
+  out += ",\"recovered_terminal\":" + fmt_u64(s.recovered_terminal);
   out += "}\n";
   return out;
 }
@@ -474,7 +565,8 @@ HttpResponse route_gateway_request(const HttpRequest& request,
                                    const control::Ratekeeper* ratekeeper,
                                    const control::TokenBucketTable* buckets,
                                    const obs::FlightRecorder* flight,
-                                   obs::SamplingProfiler* profiler) {
+                                   obs::SamplingProfiler* profiler,
+                                   const storage::StorageManager* storage) {
   if (!request.valid) {
     return text_response(400, "bad request\n");
   }
@@ -517,6 +609,13 @@ HttpResponse route_gateway_request(const HttpRequest& request,
   if (request.path == "/debug/build") {
     return handle_debug_build();
   }
+  if (request.path == "/debug/storage") {
+    return handle_debug_storage(storage);
+  }
+  if (request.path == "/journal" ||
+      request.path.rfind("/journal?", 0) == 0) {
+    return handle_journal(request, storage);
+  }
   if (request.path == "/stats") {
     return json_response(200, service_stats_json(link.stats()));
   }
@@ -546,7 +645,8 @@ PlatformGateway::PlatformGateway(engine::GatewayLink& link,
       ratekeeper_(config.ratekeeper),
       buckets_(config.buckets),
       flight_(config.flight),
-      profiler_(config.profiler) {
+      profiler_(config.profiler),
+      storage_(config.storage) {
   if (registry_ != nullptr) {
     submit_seconds_ = &registry_->histogram("mfcp_gateway_submit_seconds",
                                             obs::default_time_bounds());
@@ -568,7 +668,7 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
     obs::ScopedSpan span(submit_seconds_, "gateway_submit", trace_);
     response = route_gateway_request(request, link_, registry_, slo_,
                                      traces_, ratekeeper_, buckets_, flight_,
-                                     profiler_);
+                                     profiler_, storage_);
     span.stop();
     if (slo_ != nullptr) {
       slo_->observe_submit(link_.sim_time_hours(), submit_watch.seconds());
@@ -576,7 +676,7 @@ HttpResponse PlatformGateway::handle(const HttpRequest& request) {
   } else {
     response = route_gateway_request(request, link_, registry_, slo_,
                                      traces_, ratekeeper_, buckets_, flight_,
-                                     profiler_);
+                                     profiler_, storage_);
   }
   if (registry_ != nullptr) {
     registry_

@@ -29,6 +29,17 @@
 //   GET  /debug/build
 //                    -> 200 build provenance JSON (git sha, compiler,
 //                       build type, sanitizers)
+//   GET  /journal[?from=&to=]
+//                    -> 200 NDJSON round/task records from the chunked
+//                       on-disk journal whose close_hours fall in
+//                       [from, to] (defaults: everything retained),
+//                       served across chunk boundaries; 400 malformed
+//                       window, 404 storage disabled
+//   GET  /debug/storage
+//                    -> 200 flat JSON durability state: WAL records/
+//                       bytes/fsyncs/segments, recovery counts,
+//                       checkpoint generation, chunk census; 404
+//                       storage disabled
 //   GET  /metrics    -> 200 Prometheus exposition of the shared registry
 //   GET  /healthz    -> 200 "ok\n"
 //
@@ -62,6 +73,7 @@
 #include "obs/span.hpp"
 #include "obs/trace_store.hpp"
 #include "sim/task.hpp"
+#include "storage/storage.hpp"
 
 namespace mfcp::net {
 
@@ -118,7 +130,8 @@ struct SubmitParse {
     const control::Ratekeeper* ratekeeper = nullptr,
     const control::TokenBucketTable* buckets = nullptr,
     const obs::FlightRecorder* flight = nullptr,
-    obs::SamplingProfiler* profiler = nullptr);
+    obs::SamplingProfiler* profiler = nullptr,
+    const storage::StorageManager* storage = nullptr);
 
 struct GatewayConfig {
   HttpServerConfig http;
@@ -140,6 +153,10 @@ struct GatewayConfig {
   /// Sampling profiler behind GET /debug/profile. Borrowed, optional
   /// (404 when absent); mutable because each request runs a session.
   obs::SamplingProfiler* profiler = nullptr;
+  /// Durability layer behind GET /journal and GET /debug/storage (the
+  /// same StorageManager the engine writes through). Borrowed, optional
+  /// (404 when absent).
+  const storage::StorageManager* storage = nullptr;
 };
 
 /// The running service: an HttpServer whose handler routes into `link`
@@ -179,6 +196,7 @@ class PlatformGateway {
   const control::TokenBucketTable* buckets_;
   const obs::FlightRecorder* flight_;
   obs::SamplingProfiler* profiler_;
+  const storage::StorageManager* storage_;
   obs::Histogram* submit_seconds_ = nullptr;
   std::unique_ptr<HttpServer> server_;
 };

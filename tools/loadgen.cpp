@@ -21,6 +21,16 @@
 // expired / rejected — accepted work is never silently lost. Exit code 0
 // on success, 1 on a conservation or validation failure, 2 on usage or
 // total transport failure.
+//
+// Restart verification: --resume-report <prior.json> reads a previous
+// run's --report-json output and asserts the (restarted) platform still
+// accounts for every acceptance the prior run observed:
+//
+//   recovered_tasks + recovered_terminal >= prior accepted
+//
+// (>=, not ==: the WAL append precedes the HTTP 200, so a kill between
+// the two leaves acceptances the client never saw). The merged totals
+// across both runs are printed and folded into this run's report JSON.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -60,6 +70,10 @@ struct Options {
   /// same numbers the human-readable loadgen: lines print — so CI can
   /// archive and diff runs without scraping stdout.
   std::string report_json_path;
+  /// When set, a prior run's report JSON: this run additionally asserts
+  /// the platform's WAL recovery accounts for every acceptance that run
+  /// observed, and merges the two runs' counts in the output.
+  std::string resume_report_path;
 };
 
 /// One accepted submit, kept so the report can attribute its slowest
@@ -224,9 +238,31 @@ int usage(const char* argv0) {
       "usage: %s --port P [--host H] [--concurrency N] [--rate R]\n"
       "          [--duration-seconds S] [--drain-seconds S]\n"
       "          [--timeout-ms MS] [--seed N] [--clients K]\n"
-      "          [--report-json <path>]\n",
+      "          [--report-json <path>] [--resume-report <prior.json>]\n",
       argv0);
   return 2;
+}
+
+/// Reads the prior run's report JSON (one flat object) into `fields`.
+bool read_report_json(const std::string& path,
+                      std::map<std::string, mfcp::net::JsonValue>& fields) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string body;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    body.append(buf, n);
+  }
+  std::fclose(f);
+  const auto parsed = mfcp::net::parse_json_object(body);
+  if (!parsed.has_value()) {
+    return false;
+  }
+  fields = *parsed;
+  return true;
 }
 
 }  // namespace
@@ -255,6 +291,8 @@ int main(int argc, char** argv) {
       opt.clients = std::atoi(argv[++k]);
     } else if (std::strcmp(argv[k], "--report-json") == 0 && k + 1 < argc) {
       opt.report_json_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--resume-report") == 0 && k + 1 < argc) {
+      opt.resume_report_path = argv[++k];
     } else {
       return usage(argv[0]);
     }
@@ -262,6 +300,16 @@ int main(int argc, char** argv) {
   if (opt.port <= 0 || opt.port > 65535 || opt.concurrency < 1 ||
       opt.clients < 0) {
     return usage(argv[0]);
+  }
+
+  // Load the prior run's report up front so a bad path fails before any
+  // load is offered.
+  std::map<std::string, mfcp::net::JsonValue> prior_report;
+  if (!opt.resume_report_path.empty() &&
+      !read_report_json(opt.resume_report_path, prior_report)) {
+    std::fprintf(stderr, "loadgen: cannot read prior report %s\n",
+                 opt.resume_report_path.c_str());
+    return 2;
   }
 
   std::printf("loadgen: target http://%s:%d concurrency=%d rate=%.3g "
@@ -420,6 +468,29 @@ int main(int argc, char** argv) {
               submitted, queued, matched, dispatched, expired, rejected,
               conserved ? "OK" : "FAILED");
 
+  // Restart verification: every acceptance the prior run observed must be
+  // covered by this incarnation's WAL recovery — either replayed into the
+  // queue (recovered_tasks) or already terminal in the log
+  // (recovered_terminal). >= because a kill between the WAL append and
+  // the HTTP 200 leaves acceptances the prior client never counted.
+  const std::uint64_t prior_accepted = stat_u64(prior_report, "accepted");
+  const std::uint64_t recovered_tasks = stat_u64(stats, "recovered_tasks");
+  const std::uint64_t recovered_terminal =
+      stat_u64(stats, "recovered_terminal");
+  bool resume_ok = true;
+  if (!opt.resume_report_path.empty()) {
+    resume_ok = recovered_tasks + recovered_terminal >= prior_accepted;
+    std::printf("loadgen: resume prior_accepted=%" PRIu64
+                " recovered_tasks=%" PRIu64 " recovered_terminal=%" PRIu64
+                " : %s\n",
+                prior_accepted, recovered_tasks, recovered_terminal,
+                resume_ok ? "OK" : "FAILED");
+    std::printf("loadgen: merged accepted=%" PRIu64 " requests=%" PRIu64
+                "\n",
+                prior_accepted + total.accepted,
+                stat_u64(prior_report, "requests") + total.requests);
+  }
+
   if (!opt.report_json_path.empty()) {
     FILE* report = std::fopen(opt.report_json_path.c_str(), "w");
     if (report == nullptr) {
@@ -440,7 +511,7 @@ int main(int argc, char** argv) {
         ",\"submitted\":%" PRIu64 ",\"queued\":%" PRIu64
         ",\"matched\":%" PRIu64 ",\"dispatched\":%" PRIu64
         ",\"expired\":%" PRIu64 ",\"rejected\":%" PRIu64
-        ",\"conserved\":%s}\n",
+        ",\"conserved\":%s",
         total.requests, total.accepted, total.rejected_429,
         total.throttled_429, total.http_other, total.transport_errors,
         elapsed > 0.0 ? static_cast<double>(total.requests) / elapsed : 0.0,
@@ -451,12 +522,24 @@ int main(int argc, char** argv) {
         status_checked, status_bad, status_evicted, submitted, queued,
         matched, dispatched, expired, rejected,
         conserved ? "true" : "false");
+    if (!opt.resume_report_path.empty()) {
+      std::fprintf(report,
+                   ",\"prior_accepted\":%" PRIu64
+                   ",\"recovered_tasks\":%" PRIu64
+                   ",\"recovered_terminal\":%" PRIu64
+                   ",\"merged_accepted\":%" PRIu64
+                   ",\"resume_conserved\":%s",
+                   prior_accepted, recovered_tasks, recovered_terminal,
+                   prior_accepted + total.accepted,
+                   resume_ok ? "true" : "false");
+    }
+    std::fprintf(report, "}\n");
     std::fclose(report);
     std::printf("loadgen: report written to %s\n",
                 opt.report_json_path.c_str());
   }
 
-  if (!conserved || status_bad != 0) {
+  if (!conserved || !resume_ok || status_bad != 0) {
     return 1;
   }
   return 0;

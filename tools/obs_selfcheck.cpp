@@ -77,15 +77,40 @@
 //                         check (CI surfaces them without gating); only
 //                         malformed input does.
 //
+//   --storage <dir>       durability data directory (--data-dir of a
+//                         platform run). Validates all three stores
+//                         against re-implemented copies of their formats
+//                         (so a serialization bug cannot vouch for
+//                         itself):
+//                           * wal/wal-*.log: every frame is
+//                             [len u32][crc u32][payload], len is the
+//                             fixed payload size, the CRC32 matches, the
+//                             type byte is known, and sequence numbers
+//                             are strictly increasing across segments; a
+//                             partial or bad frame is tolerated only as
+//                             the newest segment's torn tail;
+//                           * checkpoints/: MANIFEST names an existing
+//                             snapshot whose generation and wal_seq agree
+//                             with it, and every retained snapshot-*.ckpt
+//                             carries a valid wrapper header;
+//                           * journal/chunk-*.jsonl: every line is a JSON
+//                             record or the index footer, every sealed
+//                             (non-newest) chunk ends with a footer whose
+//                             chunk id, record count, and payload bytes
+//                             match a recount of the file.
+//
 // Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage/IO.
 #include <cctype>
+#include <cinttypes>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -1053,6 +1078,307 @@ int check_flight(const std::string& path) {
   return check_flight_jsonl(path);
 }
 
+// ----------------------------------------------------------- --storage --
+// Independent re-implementations of the durability layer's formats (the
+// layouts documented in src/storage/*.hpp). Deliberately not linked
+// against mfcp_storage: the writer's own code never vouches for its own
+// output.
+
+constexpr std::size_t kWalHeaderBytes = 8;    // len u32 | crc u32
+constexpr std::size_t kWalPayloadBytes = 49;  // fixed record payload
+
+/// IEEE 802.3 CRC32 (reflected, init/final 0xFFFFFFFF).
+std::uint32_t wal_crc32(const unsigned char* data, std::size_t n) {
+  static std::uint32_t table[256];
+  static bool ready = false;
+  if (!ready) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    ready = true;
+  }
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t load_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t load_u64le(const unsigned char* p) {
+  return static_cast<std::uint64_t>(load_u32le(p)) |
+         static_cast<std::uint64_t>(load_u32le(p + 4)) << 32;
+}
+
+int check_storage(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "cannot open storage dir %s\n", dir.c_str());
+    return 2;
+  }
+
+  // --- wal/wal-*.log ------------------------------------------------------
+  std::map<unsigned, fs::path> segments;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir) / "wal", ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned idx = 0;
+    char overflow = 0;
+    if (name.size() == 16 &&
+        std::sscanf(name.c_str(), "wal-%8u.log%c", &idx, &overflow) == 1) {
+      segments[idx] = entry.path();
+    }
+  }
+  std::uint64_t wal_frames = 0;
+  std::uint64_t last_seq = 0;
+  std::set<std::uint64_t> accepted_ids;
+  std::set<std::uint64_t> terminal_ids;
+  std::size_t seg_seen = 0;
+  for (const auto& [idx, path] : segments) {
+    ++seg_seen;
+    const bool newest = seg_seen == segments.size();
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open WAL segment %s\n", path.c_str());
+      return 2;
+    }
+    std::vector<unsigned char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      std::string bad;  // first grammar violation at this offset
+      if (off + kWalHeaderBytes + kWalPayloadBytes > bytes.size()) {
+        bad = "partial frame";
+      } else if (load_u32le(&bytes[off]) != kWalPayloadBytes) {
+        bad = "frame length is not the fixed payload size";
+      } else if (load_u32le(&bytes[off + 4]) !=
+                 wal_crc32(&bytes[off + kWalHeaderBytes],
+                           kWalPayloadBytes)) {
+        bad = "payload CRC mismatch";
+      } else {
+        const unsigned char* payload = &bytes[off + kWalHeaderBytes];
+        const unsigned type = payload[0];
+        if (type < 1 || type > 4) {
+          bad = "unknown record type " + std::to_string(type);
+        }
+      }
+      if (!bad.empty()) {
+        // A crash mid-append legitimately tears the newest segment's
+        // tail; anywhere else the log is corrupt.
+        if (newest) {
+          std::printf("storage: note: torn tail in %s (%zu bytes at "
+                      "offset %zu: %s)\n",
+                      path.filename().string().c_str(), bytes.size() - off,
+                      off, bad.c_str());
+        } else {
+          fail("WAL corruption in sealed segment (" + bad + ")", off,
+               path.string());
+        }
+        break;
+      }
+      const unsigned char* payload = &bytes[off + kWalHeaderBytes];
+      const std::uint64_t seq = load_u64le(payload + 1);
+      if (seq <= last_seq) {
+        fail("WAL sequence not strictly increasing (" +
+                 std::to_string(seq) + " after " +
+                 std::to_string(last_seq) + ")",
+             off, path.string());
+      }
+      last_seq = seq;
+      const std::uint64_t task_id = load_u64le(payload + 9);
+      if (payload[0] == 1) {
+        accepted_ids.insert(task_id);
+      } else {
+        terminal_ids.insert(task_id);
+      }
+      ++wal_frames;
+      off += kWalHeaderBytes + kWalPayloadBytes;
+    }
+  }
+  std::size_t outstanding = 0;
+  for (const std::uint64_t id : accepted_ids) {
+    outstanding += terminal_ids.count(id) == 0 ? 1 : 0;
+  }
+
+  // --- checkpoints/ -------------------------------------------------------
+  std::map<std::uint64_t, fs::path> snapshots;
+  const fs::path ckpt_dir = fs::path(dir) / "checkpoints";
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(ckpt_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long gen = 0;
+    char overflow = 0;
+    if (name.size() == 22 &&
+        std::sscanf(name.c_str(), "snapshot-%8llu.ckpt%c", &gen,
+                    &overflow) == 1) {
+      snapshots[gen] = entry.path();
+    }
+  }
+  // Every retained snapshot carries the wrapper header; remember each
+  // generation's recorded wal_seq for the manifest cross-check.
+  std::map<std::uint64_t, std::uint64_t> snapshot_wal_seq;
+  for (const auto& [gen, path] : snapshots) {
+    std::ifstream is(path);
+    std::string magic;
+    std::string seq_line;
+    unsigned long long wal_seq = 0;
+    if (!std::getline(is, magic) || magic != "mfcp-storage-snapshot 1") {
+      fail("snapshot wrapper magic missing", 1, path.string());
+      continue;
+    }
+    if (!std::getline(is, seq_line) ||
+        std::sscanf(seq_line.c_str(), "wal_seq %llu", &wal_seq) != 1) {
+      fail("snapshot wal_seq header missing", 2, path.string());
+      continue;
+    }
+    snapshot_wal_seq[gen] = wal_seq;
+  }
+  std::uint64_t manifest_gen = 0;
+  {
+    const fs::path manifest = ckpt_dir / "MANIFEST";
+    const bool have_manifest = fs::exists(manifest, ec);
+    if (!have_manifest && !snapshots.empty()) {
+      fail("snapshots on disk but no MANIFEST", 0, manifest.string());
+    }
+    if (have_manifest) {
+      std::ifstream is(manifest);
+      std::string magic;
+      std::string gen_line;
+      std::string snap_line;
+      std::string seq_line;
+      unsigned long long gen = 0;
+      unsigned long long wal_seq = 0;
+      char snap_name[64] = {0};
+      if (!std::getline(is, magic) ||
+          magic != "mfcp-storage-manifest 1" ||
+          !std::getline(is, gen_line) ||
+          std::sscanf(gen_line.c_str(), "generation %llu", &gen) != 1 ||
+          !std::getline(is, snap_line) ||
+          std::sscanf(snap_line.c_str(), "snapshot %63s", snap_name) != 1 ||
+          !std::getline(is, seq_line) ||
+          std::sscanf(seq_line.c_str(), "wal_seq %llu", &wal_seq) != 1) {
+        fail("malformed MANIFEST", 0, manifest.string());
+      } else {
+        manifest_gen = gen;
+        char expect[32];
+        std::snprintf(expect, sizeof(expect), "snapshot-%08llu.ckpt", gen);
+        if (std::strcmp(snap_name, expect) != 0) {
+          fail("MANIFEST snapshot name does not match its generation", 3,
+               snap_line);
+        }
+        const auto it = snapshot_wal_seq.find(gen);
+        if (snapshots.count(gen) == 0) {
+          fail("MANIFEST points at a missing snapshot", 3, snap_line);
+        } else if (it != snapshot_wal_seq.end() && it->second != wal_seq) {
+          fail("MANIFEST wal_seq disagrees with its snapshot's header", 4,
+               seq_line);
+        }
+      }
+    }
+  }
+
+  // --- journal/chunk-*.jsonl ----------------------------------------------
+  std::map<long long, fs::path> chunk_files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir) / "journal", ec)) {
+    const std::string name = entry.path().filename().string();
+    long long k = 0;
+    char overflow = 0;
+    if (name.size() == 20 &&
+        std::sscanf(name.c_str(), "chunk-%8lld.jsonl%c", &k, &overflow) ==
+            1) {
+      chunk_files[k] = entry.path();
+    }
+  }
+  std::uint64_t chunk_records = 0;
+  std::size_t chunk_seen = 0;
+  for (const auto& [k, path] : chunk_files) {
+    ++chunk_seen;
+    const bool newest = chunk_seen == chunk_files.size();
+    std::ifstream is(path);
+    std::string line;
+    std::size_t line_no = 0;
+    std::uint64_t records = 0;
+    std::uint64_t payload_bytes = 0;
+    bool footer_seen = false;
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (footer_seen) {
+        fail("journal chunk has content after its index footer", line_no,
+             path.string());
+        break;
+      }
+      if (line.rfind("#mfcp-chunk-index v1", 0) == 0) {
+        long long fk = 0;
+        unsigned long long frecords = 0;
+        unsigned long long fbytes = 0;
+        double fmin = 0.0;
+        double fmax = 0.0;
+        if (std::sscanf(line.c_str(),
+                        "#mfcp-chunk-index v1 chunk=%lld records=%llu "
+                        "min_hours=%lg max_hours=%lg payload_bytes=%llu",
+                        &fk, &frecords, &fmin, &fmax, &fbytes) != 5) {
+          fail("malformed chunk index footer", line_no, line);
+        } else {
+          if (fk != k) {
+            fail("footer chunk id does not match the filename", line_no,
+                 line);
+          }
+          if (frecords != records) {
+            fail("footer record count " + std::to_string(frecords) +
+                     " != recounted " + std::to_string(records),
+                 line_no, line);
+          }
+          if (fbytes != payload_bytes) {
+            fail("footer payload_bytes " + std::to_string(fbytes) +
+                     " != recounted " + std::to_string(payload_bytes),
+                 line_no, line);
+          }
+          if (records > 0 && fmin > fmax) {
+            fail("footer min_hours exceeds max_hours", line_no, line);
+          }
+        }
+        footer_seen = true;
+        continue;
+      }
+      if (line.empty() || line.front() != '{' || line.back() != '}') {
+        fail("journal chunk line is neither a JSON record nor the footer",
+             line_no, path.string());
+        continue;
+      }
+      ++records;
+      payload_bytes += line.size() + 1;
+    }
+    if (!footer_seen && !newest) {
+      fail("sealed journal chunk is missing its index footer", line_no,
+           path.string());
+    }
+    chunk_records += records;
+  }
+
+  std::printf("storage %s: wal segments=%zu frames=%" PRIu64
+              " (accepted=%zu terminal=%zu outstanding=%zu), "
+              "checkpoints=%zu (manifest generation %" PRIu64
+              "), journal chunks=%zu records=%" PRIu64 "\n",
+              dir.c_str(), segments.size(), wal_frames,
+              accepted_ids.size(), terminal_ids.size(), outstanding,
+              snapshots.size(), manifest_gen, chunk_files.size(),
+              chunk_records);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1063,6 +1389,7 @@ int main(int argc, char** argv) {
   std::string profile_path;
   std::string bench_baseline_path;
   std::string bench_fresh_path;
+  std::string storage_dir;
   bool require_attribution = false;
   bool require_gateway = false;
   bool require_slo = false;
@@ -1080,6 +1407,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[k], "--bench-diff") == 0 && k + 2 < argc) {
       bench_baseline_path = argv[++k];
       bench_fresh_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--storage") == 0 && k + 1 < argc) {
+      storage_dir = argv[++k];
     } else if (std::strcmp(argv[k], "--require-attribution") == 0) {
       require_attribution = true;
     } else if (std::strcmp(argv[k], "--require-gateway") == 0) {
@@ -1091,6 +1420,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--exposition <file>] [--journal <file>] "
                    "[--tasktraces <file>] [--flight <file>] "
                    "[--profile <file>] [--bench-diff <baseline> <fresh>] "
+                   "[--storage <dir>] "
                    "[--require-attribution] [--require-gateway] "
                    "[--require-slo]\n",
                    argv[0]);
@@ -1099,7 +1429,8 @@ int main(int argc, char** argv) {
   }
   if (exposition_path.empty() && journal_path.empty() &&
       tasktraces_path.empty() && flight_path.empty() &&
-      profile_path.empty() && bench_baseline_path.empty()) {
+      profile_path.empty() && bench_baseline_path.empty() &&
+      storage_dir.empty()) {
     std::fprintf(stderr, "nothing to check (see --help usage)\n");
     return 2;
   }
@@ -1123,6 +1454,9 @@ int main(int argc, char** argv) {
   if (!bench_baseline_path.empty()) {
     rc = std::max(rc, check_bench_diff(bench_baseline_path,
                                        bench_fresh_path));
+  }
+  if (!storage_dir.empty()) {
+    rc = std::max(rc, check_storage(storage_dir));
   }
   if (rc == 0) {
     std::printf("obs_selfcheck: all checks passed\n");
